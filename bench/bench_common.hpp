@@ -1,0 +1,124 @@
+// Shared benchmark plumbing.
+//
+// Every bench binary regenerates one of the paper's tables or figures: it
+// runs the corresponding experiment campaign once per configuration (under
+// google-benchmark with manual timing), then prints the same rows/series
+// the paper plots, plus a CSV block for replotting.
+//
+// Environment knobs:
+//   GRIDMON_BENCH_MINUTES  virtual minutes per test (default 30, the paper's
+//                          setting; set lower for a quick look)
+//   GRIDMON_BENCH_SEEDS    repetitions with different seeds (default 2, the
+//                          paper ran every test twice)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/scenarios.hpp"
+#include "util/table.hpp"
+
+namespace gridmon::bench {
+
+inline int bench_minutes() {
+  if (const char* env = std::getenv("GRIDMON_BENCH_MINUTES")) {
+    const int minutes = std::atoi(env);
+    if (minutes > 0) return minutes;
+  }
+  return 30;
+}
+
+inline int bench_seeds() {
+  if (const char* env = std::getenv("GRIDMON_BENCH_SEEDS")) {
+    const int seeds = std::atoi(env);
+    if (seeds > 0) return seeds;
+  }
+  return 2;
+}
+
+/// Merge per-seed repetitions the way the paper aggregates its two runs:
+/// pool all RTT samples, average resources.
+class Repetitions {
+ public:
+  void add(const core::Results& results) { runs_.push_back(results); }
+
+  [[nodiscard]] const std::vector<core::Results>& runs() const { return runs_; }
+
+  /// Pooled results across repetitions.
+  [[nodiscard]] core::Results pooled() const {
+    core::Results out;
+    if (runs_.empty()) return out;
+    double idle = 0.0;
+    std::int64_t mem = 0;
+    for (const auto& run : runs_) {
+      out.metrics.count_sent(run.metrics.sent());
+      for (double rtt : run.metrics.rtt_ms().raw()) {
+        // Re-record with zeroed phases; percentiles/mean come from here.
+        out.metrics.record(0, 0, 0,
+                           static_cast<SimTime>(rtt * 1e6));
+      }
+      idle += run.servers.cpu_idle_pct;
+      mem += run.servers.memory_bytes;
+      out.refused += run.refused;
+      out.events_forwarded += run.events_forwarded;
+      out.completed = out.completed && run.completed;
+    }
+    out.servers.cpu_idle_pct = idle / static_cast<double>(runs_.size());
+    out.servers.memory_bytes = mem / static_cast<std::int64_t>(runs_.size());
+    return out;
+  }
+
+  /// Decomposition means come from the first run (they are means already).
+  [[nodiscard]] const core::Results& first() const { return runs_.front(); }
+
+ private:
+  std::vector<core::Results> runs_;
+};
+
+/// Run an experiment campaign with per-seed repetition, timing each run as
+/// one manual benchmark iteration.
+template <typename Config>
+Repetitions run_repeated(benchmark::State& state, Config config,
+                         core::Results (*runner)(const Config&)) {
+  Repetitions reps;
+  config.duration = units::minutes(bench_minutes());
+  int seed = 1;
+  for (auto _ : state) {
+    config.seed = static_cast<std::uint64_t>(seed++);
+    const auto begin = std::chrono::steady_clock::now();
+    reps.add(runner(config));
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - begin;
+    state.SetIterationTime(elapsed.count());
+  }
+  const auto pooled = reps.pooled();
+  state.counters["rtt_ms"] = pooled.metrics.rtt_mean_ms();
+  state.counters["stddev_ms"] = pooled.metrics.rtt_stddev_ms();
+  state.counters["loss_pct"] = pooled.metrics.loss_rate() * 100.0;
+  state.counters["received"] =
+      static_cast<double>(pooled.metrics.received());
+  return reps;
+}
+
+inline void print_figure_header(const char* figure, const char* caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("(virtual duration %d min per test, %d seed(s))\n",
+              bench_minutes(), bench_seeds());
+  std::printf("================================================================\n");
+}
+
+inline void print_table(const util::TextTable& table) {
+  std::printf("%s", table.render().c_str());
+  std::printf("\n-- CSV --\n%s\n", table.render_csv().c_str());
+}
+
+}  // namespace gridmon::bench

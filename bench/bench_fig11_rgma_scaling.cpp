@@ -1,0 +1,78 @@
+// Fig 11: R-GMA Primary Producer + Consumer RTT and standard deviation vs
+// concurrent connections — single server (RTT/STDDEV) vs the distributed
+// architecture (RTT2/STDDEV2).
+//
+// Paper findings reproduced: RTT far above Narada's (seconds, not
+// milliseconds); a single R-GMA server cannot accept 800 connections (OOM);
+// the distributed deployment performs better *and* scales to 1000+ —
+// R-GMA's scalability is very good even though its latency is poor.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gridmon;
+using bench::Repetitions;
+
+struct Point {
+  int connections;
+  bool distributed;
+  Repetitions reps;
+};
+
+std::vector<Point> g_points;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
+  for (int n : {100, 200, 400, 600, 800}) {
+    g_points.push_back(Point{n, false, {}});
+  }
+  for (int n : {400, 600, 800, 1000}) {
+    g_points.push_back(Point{n, true, {}});
+  }
+  for (std::size_t i = 0; i < g_points.size(); ++i) {
+    const auto& point = g_points[i];
+    const std::string name = std::string("fig11/") +
+                             (point.distributed ? "distributed/" : "single/") +
+                             std::to_string(point.connections);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [i](benchmark::State& state) {
+          auto& p = g_points[i];
+          const auto config =
+              p.distributed ? core::scenarios::rgma_distributed(p.connections)
+                            : core::scenarios::rgma_single(p.connections);
+          p.reps =
+              bench::run_repeated(state, config, core::run_rgma_experiment);
+        })
+        ->UseManualTime()
+        ->Iterations(bench::bench_seeds())
+        ->Unit(benchmark::kSecond);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::print_figure_header(
+      "Fig 11",
+      "R-GMA Primary Producer and Consumer: RTT and STDDEV vs connections");
+  util::TextTable table({"deployment", "connections", "RTT (ms)",
+                         "STDDEV (ms)", "note"});
+  for (const auto& point : g_points) {
+    const auto pooled = point.reps.pooled();
+    std::string note;
+    if (pooled.refused > 0) {
+      note = "OOM: refused " + std::to_string(pooled.refused) +
+             " producers (paper: one server cannot accept 800)";
+    }
+    table.add_row({point.distributed ? "distributed (2P+2C)" : "single",
+                   std::to_string(point.connections),
+                   util::TextTable::format(pooled.metrics.rtt_mean_ms(), 0),
+                   util::TextTable::format(pooled.metrics.rtt_stddev_ms(), 0),
+                   note});
+  }
+  bench::print_table(table);
+  return 0;
+}

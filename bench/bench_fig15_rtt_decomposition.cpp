@@ -1,0 +1,69 @@
+// Fig 15: RTT decomposition, RTT = PRT + PT + SRT.
+//
+// Cumulative phase timestamps (before_sending → after_sending →
+// before_receiving → after_receiving) for R-GMA and Narada at 400
+// connections. The paper's conclusion reproduced: R-GMA's publishing and
+// subscribing response times are short but its middleware Process Time is
+// very long (the Primary Producer/Consumer pipeline); all three Narada
+// phases are very short.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gridmon;
+using bench::Repetitions;
+
+Repetitions g_narada;
+Repetitions g_rgma;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
+
+  benchmark::RegisterBenchmark(
+      "fig15/narada/400",
+      [](benchmark::State& state) {
+        g_narada = bench::run_repeated(state,
+                                       core::scenarios::narada_single(400),
+                                       core::run_narada_experiment);
+      })
+      ->UseManualTime()
+      ->Iterations(bench::bench_seeds())
+      ->Unit(benchmark::kSecond);
+  benchmark::RegisterBenchmark(
+      "fig15/rgma/400",
+      [](benchmark::State& state) {
+        g_rgma = bench::run_repeated(state, core::scenarios::rgma_single(400),
+                                     core::run_rgma_experiment);
+      })
+      ->UseManualTime()
+      ->Iterations(bench::bench_seeds())
+      ->Unit(benchmark::kSecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::print_figure_header(
+      "Fig 15", "RTT decomposition: RTT = PRT + PT + SRT (cumulative ms)");
+  util::TextTable table({"system", "before_sending", "after_sending",
+                         "before_receiving", "after_receiving"});
+  table.add_numeric_row("RGMA", core::decomposition_row(g_rgma.first()), 1);
+  table.add_numeric_row("Narada", core::decomposition_row(g_narada.first()),
+                        1);
+  bench::print_table(table);
+
+  const auto& rgma = g_rgma.first().metrics;
+  const auto& narada = g_narada.first().metrics;
+  std::printf("phase means (ms):\n");
+  std::printf("  RGMA   PRT=%.1f  PT=%.1f  SRT=%.1f\n", rgma.prt_ms().mean(),
+              rgma.pt_ms().mean(), rgma.srt_ms().mean());
+  std::printf("  Narada PRT=%.2f  PT=%.2f  SRT=%.2f\n",
+              narada.prt_ms().mean(), narada.pt_ms().mean(),
+              narada.srt_ms().mean());
+  std::printf(
+      "Paper check: R-GMA's PRT and SRT are short but PT is very long; all "
+      "three\nNarada phases are very short.\n");
+  return 0;
+}

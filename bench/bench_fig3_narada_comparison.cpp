@@ -1,0 +1,71 @@
+// Table II + Fig 3: the NaradaBrokering comparison tests.
+//
+// Six 30-minute runs on a single broker, 800 simulated generators (80 for
+// test 6), measuring mean RTT, RTT standard deviation and loss rate per
+// transport/acknowledgement/payload setting. The paper's headline findings
+// this bench reproduces:
+//   - TCP is stable and fast (~3 ms);
+//   - JMS-over-UDP is surprisingly slow (~12 ms) because Narada
+//     acknowledges each UDP packet before releasing it;
+//   - larger payloads slow Narada down (Triple > TCP);
+//   - fewer, faster connections are cheapest (test "80");
+//   - UDP loses ~0.06 % of messages (0.03 % with CLIENT_ACKNOWLEDGE),
+//     TCP loses none.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gridmon;
+using bench::Repetitions;
+
+std::vector<core::scenarios::ComparisonTest> g_tests;
+std::vector<Repetitions> g_results;
+
+void run_comparison(benchmark::State& state, std::size_t index) {
+  auto reps = bench::run_repeated(state, g_tests[index].config,
+                                  core::run_narada_experiment);
+  g_results[index] = std::move(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
+  g_tests = core::scenarios::narada_comparison_tests();
+  g_results.resize(g_tests.size());
+
+  for (std::size_t i = 0; i < g_tests.size(); ++i) {
+    benchmark::RegisterBenchmark(
+        ("fig3/" + g_tests[i].label).c_str(),
+        [i](benchmark::State& state) { run_comparison(state, i); })
+        ->UseManualTime()
+        ->Iterations(bench::bench_seeds())
+        ->Unit(benchmark::kSecond);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::print_figure_header(
+      "Table II + Fig 3",
+      "Narada comparison tests: round-trip time and standard deviation");
+  util::TextTable table({"test", "RTT (ms)", "STDDEV (ms)", "loss (%)",
+                         "sent", "received"});
+  for (std::size_t i = 0; i < g_tests.size(); ++i) {
+    const auto pooled = g_results[i].pooled();
+    table.add_row({g_tests[i].label,
+                   util::TextTable::format(pooled.metrics.rtt_mean_ms()),
+                   util::TextTable::format(pooled.metrics.rtt_stddev_ms()),
+                   util::TextTable::format(pooled.metrics.loss_rate() * 100.0,
+                                           3),
+                   std::to_string(pooled.metrics.sent()),
+                   std::to_string(pooled.metrics.received())});
+  }
+  bench::print_table(table);
+  std::printf(
+      "Paper shape check: TCP fast & stable, UDP ≈ 4x TCP (per-packet ack "
+      "cycle),\nTriple > TCP (payload cost), '80' lowest, UDP loss ≈ 0.06%%, "
+      "TCP loss = 0.\n");
+  return 0;
+}

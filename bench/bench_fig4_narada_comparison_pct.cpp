@@ -1,0 +1,48 @@
+// Fig 4: percentile of RTT for the Narada comparison tests (95–100 %).
+//
+// The paper's series: NIO, TCP, UDP, Triple, 80 — flat until ~99 % and then
+// a sharp tail (GC pauses and queue bursts), with UDP's curve shifted up by
+// the acknowledgement cycle.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gridmon;
+using bench::Repetitions;
+
+std::vector<core::scenarios::ComparisonTest> g_tests;
+std::vector<Repetitions> g_results;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
+  g_tests = core::scenarios::narada_comparison_tests();
+  g_results.resize(g_tests.size());
+
+  for (std::size_t i = 0; i < g_tests.size(); ++i) {
+    benchmark::RegisterBenchmark(
+        ("fig4/" + g_tests[i].label).c_str(),
+        [i](benchmark::State& state) {
+          g_results[i] = bench::run_repeated(state, g_tests[i].config,
+                                             core::run_narada_experiment);
+        })
+        ->UseManualTime()
+        ->Iterations(bench::bench_seeds())
+        ->Unit(benchmark::kSecond);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::print_figure_header("Fig 4",
+                             "Narada comparison tests, percentile of RTT (ms)");
+  util::TextTable table({"test", "95%", "96%", "97%", "98%", "99%", "100%"});
+  for (std::size_t i = 0; i < g_tests.size(); ++i) {
+    table.add_numeric_row(g_tests[i].label,
+                          core::percentile_row(g_results[i].pooled()), 1);
+  }
+  bench::print_table(table);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig 7: Narada round-trip time and standard deviation vs concurrent
+// connections — standalone broker (RTT/STDDEV) and Distributed Broker
+// Network (RTT2/STDDEV2).
+//
+// Paper findings reproduced here: a smooth RTT increase with connection
+// count; a single broker cannot accept 4000 connections (OOM creating
+// threads); the DBN accepts more than 4000 but its RTT is *higher* than the
+// single broker's at the same load, because v1.1.3 broadcasts events to
+// every broker instead of routing them.
+#include "bench_common.hpp"
+#include "util/chart.hpp"
+
+namespace {
+
+using namespace gridmon;
+using bench::Repetitions;
+
+struct Point {
+  int connections;
+  bool dbn;
+  Repetitions reps;
+};
+
+std::vector<Point> g_points;
+
+void register_points() {
+  for (int n : {500, 1000, 2000, 3000, 4000}) {
+    g_points.push_back(Point{n, false, {}});
+  }
+  for (int n : {2000, 3000, 4000, 5000}) {
+    g_points.push_back(Point{n, true, {}});
+  }
+  for (std::size_t i = 0; i < g_points.size(); ++i) {
+    const auto& point = g_points[i];
+    const std::string name = std::string("fig7/") +
+                             (point.dbn ? "dbn/" : "single/") +
+                             std::to_string(point.connections);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [i](benchmark::State& state) {
+          auto& p = g_points[i];
+          const auto config = p.dbn
+                                  ? core::scenarios::narada_dbn(p.connections)
+                                  : core::scenarios::narada_single(p.connections);
+          p.reps = bench::run_repeated(state, config,
+                                       core::run_narada_experiment);
+        })
+        ->UseManualTime()
+        ->Iterations(bench::bench_seeds())
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
+  register_points();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::print_figure_header(
+      "Fig 7", "Narada RTT and standard deviation vs concurrent connections");
+  util::TextTable table({"deployment", "connections", "RTT (ms)",
+                         "STDDEV (ms)", "note"});
+  for (const auto& point : g_points) {
+    const auto pooled = point.reps.pooled();
+    std::string note;
+    if (pooled.refused > 0) {
+      note = "OOM: refused " + std::to_string(pooled.refused) +
+             " connections (paper: single broker cannot accept 4000)";
+    }
+    table.add_row({point.dbn ? "DBN (4 brokers)" : "single",
+                   std::to_string(point.connections),
+                   util::TextTable::format(pooled.metrics.rtt_mean_ms()),
+                   util::TextTable::format(pooled.metrics.rtt_stddev_ms()),
+                   note});
+  }
+  bench::print_table(table);
+
+  // Render the figure itself (OOM meltdown points are off-model; clip to
+  // the stable range like the paper's axis does).
+  util::AsciiChart chart(56, 14);
+  std::vector<std::pair<double, double>> single_series;
+  std::vector<std::pair<double, double>> dbn_series;
+  for (const auto& point : g_points) {
+    const auto pooled = point.reps.pooled();
+    const double rtt = pooled.metrics.rtt_mean_ms();
+    if (pooled.refused > 0 || rtt > 100.0) continue;
+    (point.dbn ? dbn_series : single_series)
+        .emplace_back(point.connections, rtt);
+  }
+  chart.add_series("RTT (single)", single_series);
+  chart.add_series("RTT2 (DBN)", dbn_series);
+  std::printf("RTT (ms) vs concurrent connections:\n%s", chart.render().c_str());
+  return 0;
+}

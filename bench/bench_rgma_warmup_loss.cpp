@@ -1,0 +1,65 @@
+// §III.F warm-up loss: 400 producers publishing without waiting for the
+// R-GMA server to "warm up". The paper: 72,000 sent, 71,876 received —
+// 0.17 % loss. The mechanism: a producer's first tuples race the mediator's
+// attachment of its stream to the consumer; continuous queries do not
+// replay the past, so tuples inserted before attachment are lost.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gridmon;
+using bench::Repetitions;
+
+Repetitions g_no_warmup;
+Repetitions g_with_warmup;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
+  benchmark::RegisterBenchmark(
+      "loss/no_warmup/400",
+      [](benchmark::State& state) {
+        g_no_warmup = bench::run_repeated(state,
+                                          core::scenarios::rgma_no_warmup(),
+                                          core::run_rgma_experiment);
+      })
+      ->UseManualTime()
+      ->Iterations(bench::bench_seeds())
+      ->Unit(benchmark::kSecond);
+  benchmark::RegisterBenchmark(
+      "loss/with_warmup/400",
+      [](benchmark::State& state) {
+        g_with_warmup = bench::run_repeated(state,
+                                            core::scenarios::rgma_single(400),
+                                            core::run_rgma_experiment);
+      })
+      ->UseManualTime()
+      ->Iterations(bench::bench_seeds())
+      ->Unit(benchmark::kSecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::print_figure_header(
+      "§III.F loss experiment",
+      "R-GMA data loss with and without the 10–20 s warm-up wait");
+  util::TextTable table({"variant", "sent", "received", "loss (%)"});
+  const std::pair<const char*, const Repetitions*> entries[] = {
+      {"no warm-up", &g_no_warmup},
+      {"10-20 s warm-up", &g_with_warmup},
+  };
+  for (const auto& [label, reps] : entries) {
+    const auto pooled = reps->pooled();
+    table.add_row({label, std::to_string(pooled.metrics.sent()),
+                   std::to_string(pooled.metrics.received()),
+                   util::TextTable::format(pooled.metrics.loss_rate() * 100.0,
+                                           3)});
+  }
+  bench::print_table(table);
+  std::printf(
+      "Paper check: 0.17%% loss without warm-up (72,000 sent / 71,876 "
+      "received),\nzero loss with the warm-up wait.\n");
+  return 0;
+}

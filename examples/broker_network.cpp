@@ -1,0 +1,110 @@
+// Distributed Broker Network demonstration: four brokers (two publishing,
+// two subscribing) assembled by the unit controller, with the v1.1.3
+// broadcast deficiency side by side with subscription-aware routing.
+//
+//   $ ./examples/broker_network
+#include <cstdio>
+
+#include "cluster/hydra.hpp"
+#include "core/payloads.hpp"
+#include "narada/client.hpp"
+#include "narada/dbn.hpp"
+#include "util/stats.hpp"
+
+using namespace gridmon;
+
+namespace {
+
+struct RunStats {
+  double rtt_ms;
+  std::uint64_t forwarded;
+  std::uint64_t delivered;
+};
+
+RunStats run(bool subscription_aware) {
+  cluster::Hydra hydra(cluster::HydraConfig{.seed = 42});
+  narada::DbnConfig config;
+  config.broker_hosts = {0, 1, 2, 3};
+  config.subscription_aware_routing = subscription_aware;
+  narada::Dbn dbn(hydra, config);
+  dbn.start();
+
+  // Subscribers on the generator nodes, partitioned by origin node with a
+  // real selector, attached to the subscribing brokers.
+  util::OnlineStats rtt;
+  std::vector<std::shared_ptr<narada::NaradaClient>> subscribers;
+  for (int host : {4, 5}) {
+    auto sub = narada::NaradaClient::create(
+        hydra.host(host), hydra.lan(), hydra.streams(),
+        dbn.assign_subscriber_broker(), net::Endpoint{host, 9000},
+        narada::TransportKind::kTcp);
+    sub->connect([&, sub, host](bool ok) {
+      if (!ok) return;
+      sub->subscribe("powergrid/monitoring", "node=" + std::to_string(host),
+                     jms::AcknowledgeMode::kAutoAcknowledge,
+                     [&](const jms::MessagePtr& msg, SimTime) {
+                       rtt.add(units::to_millis(hydra.sim().now() -
+                                                msg->timestamp));
+                     });
+    });
+    subscribers.push_back(std::move(sub));
+  }
+
+  // Publishers on the same nodes, attached to the publishing brokers.
+  std::vector<std::shared_ptr<narada::NaradaClient>> publishers;
+  auto rng = hydra.sim().rng_stream("example");
+  for (int host : {4, 5}) {
+    auto pub = narada::NaradaClient::create(
+        hydra.host(host), hydra.lan(), hydra.streams(),
+        dbn.assign_publisher_broker(), net::Endpoint{host, 9001},
+        narada::TransportKind::kTcp);
+    pub->connect([&, pub, host](bool ok) {
+      if (!ok) return;
+      for (int i = 0; i < 100; ++i) {
+        hydra.sim().schedule_after(
+            units::seconds(1) + units::milliseconds(100) * i, [&, pub, host] {
+              pub->publish(core::make_generator_message(
+                  "powergrid/monitoring", host * 100, 0, host, rng));
+            });
+      }
+    });
+    publishers.push_back(std::move(pub));
+  }
+
+  hydra.sim().run_until(units::seconds(30));
+  const auto stats = dbn.total_stats();
+  return RunStats{rtt.mean(), stats.events_forwarded, stats.events_delivered};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Distributed Broker Network: 4 brokers on hydra1-4, publishers and\n"
+      "subscribers on hydra5-6, 200 events published.\n\n");
+
+  const RunStats broadcast = run(false);
+  const RunStats routed = run(true);
+
+  std::printf("v1.1.3 broadcast deficiency (the paper's measurement):\n");
+  std::printf("  delivered %llu, forwarded %llu broker-to-broker, RTT %.2f ms\n",
+              static_cast<unsigned long long>(broadcast.delivered),
+              static_cast<unsigned long long>(broadcast.forwarded),
+              broadcast.rtt_ms);
+  std::printf("subscription-aware routing (the predicted fix):\n");
+  std::printf("  delivered %llu, forwarded %llu broker-to-broker, RTT %.2f ms\n\n",
+              static_cast<unsigned long long>(routed.delivered),
+              static_cast<unsigned long long>(routed.forwarded),
+              routed.rtt_ms);
+  std::printf(
+      "broadcast forwards every event to every broker (%llu = 3 per event); "
+      "routing\nforwards only toward subscribers (%llu), confirming the "
+      "paper's diagnosis that\n\"data were broadcast and not diverged to "
+      "different routes\".\n",
+      static_cast<unsigned long long>(broadcast.forwarded),
+      static_cast<unsigned long long>(routed.forwarded));
+  return broadcast.forwarded > routed.forwarded &&
+                 broadcast.delivered == routed.delivered
+             ? 0
+             : 1;
+}

@@ -1,0 +1,18 @@
+#include "cluster/cpu.hpp"
+
+namespace gridmon::cluster {
+
+SimTime Cpu::execute(SimTime demand, std::function<void()> done) {
+  if (demand < 0) demand = 0;
+  const auto scaled = static_cast<SimTime>(static_cast<double>(demand) / speed_);
+  const SimTime now = sim_.now();
+  const SimTime start = free_at_ > now ? free_at_ : now;
+  free_at_ = start + scaled;
+  busy_ += scaled;
+  if (done) {
+    sim_.schedule_at(free_at_, std::move(done));
+  }
+  return free_at_;
+}
+
+}  // namespace gridmon::cluster

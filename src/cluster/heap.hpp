@@ -1,0 +1,54 @@
+// Process memory accounting with out-of-memory behaviour.
+//
+// Both scaling walls the paper reports — a single Narada broker refusing
+// ~4000 connections and an R-GMA server refusing ~800 — were OutOfMemory
+// errors while creating connection-serving threads. The model therefore
+// charges every thread stack and connection buffer against a fixed budget
+// (the -Xmx heap plus native thread stacks) and lets allocation *fail*;
+// callers translate failure into connection refusal, exactly like the JVMs
+// did.
+#pragma once
+
+#include <cstdint>
+
+namespace gridmon::cluster {
+
+class Heap {
+ public:
+  explicit Heap(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Try to allocate; returns false (and changes nothing) on exhaustion.
+  [[nodiscard]] bool allocate(std::int64_t bytes) {
+    if (used_ + bytes > capacity_) {
+      ++failed_allocations_;
+      return false;
+    }
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+    return true;
+  }
+
+  void release(std::int64_t bytes) {
+    used_ -= bytes;
+    if (used_ < 0) used_ = 0;
+  }
+
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::int64_t used() const { return used_; }
+  [[nodiscard]] std::int64_t peak() const { return peak_; }
+  [[nodiscard]] double occupancy() const {
+    return capacity_ > 0 ? static_cast<double>(used_) / static_cast<double>(capacity_)
+                         : 0.0;
+  }
+  [[nodiscard]] std::uint64_t failed_allocations() const {
+    return failed_allocations_;
+  }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  std::int64_t peak_ = 0;
+  std::uint64_t failed_allocations_ = 0;
+};
+
+}  // namespace gridmon::cluster

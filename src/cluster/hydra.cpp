@@ -1,0 +1,36 @@
+#include "cluster/hydra.hpp"
+
+#include <sstream>
+
+namespace gridmon::cluster {
+
+Hydra::Hydra(HydraConfig config) : sim_(config.seed) {
+  config.lan.node_count = config.node_count;
+  lan_ = std::make_unique<net::Lan>(sim_, config.lan);
+  streams_ = std::make_unique<net::StreamTransport>(*lan_);
+  hosts_.reserve(static_cast<std::size_t>(config.node_count));
+  for (int i = 0; i < config.node_count; ++i) {
+    hosts_.push_back(std::make_unique<Host>(
+        sim_, i, "hydra" + std::to_string(i + 1), config.host));
+  }
+}
+
+std::string Hydra::describe() const {
+  std::ostringstream out;
+  out << "Hydra cluster model: " << hosts_.size()
+      << " nodes (PentiumIII 866MHz class, "
+      << (hosts_.empty() ? 0
+                         : hosts_[0]->heap().capacity() / units::MiB)
+      << " MiB JVM budget each)\n"
+      << "LAN: switched, "
+      << lan_->config().line_rate_bps / 1e6 << " Mbps per port, efficiency "
+      << lan_->config().efficiency << " (≈"
+      << lan_->config().line_rate_bps * lan_->config().efficiency / 8e6
+      << " MB/s goodput), propagation "
+      << units::to_micros(lan_->config().propagation) << " us\n"
+      << "Software model: Sun HotSpot 1.4.2-style GC pauses, "
+      << "thread-per-connection servers";
+  return out.str();
+}
+
+}  // namespace gridmon::cluster

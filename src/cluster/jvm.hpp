@@ -1,0 +1,59 @@
+// JVM garbage-collection pause process.
+//
+// HotSpot 1.4.2 stop-the-world collections are the main source of the
+// latency tail in the paper's percentile plots: the broker core freezes for
+// a few to a few hundred milliseconds, and every message in flight during
+// the pause inherits the delay. The model draws pauses stochastically with
+// probability and duration increasing in heap occupancy, and injects them
+// into the host CPU as stalls.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cpu.hpp"
+#include "cluster/heap.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace gridmon::cluster {
+
+struct JvmGcConfig {
+  SimTime check_period;
+  double chance_idle;          ///< pause probability per check at empty heap
+  double chance_occupancy_gain;  ///< added probability at full heap
+  SimTime minor_pause_base;
+  SimTime minor_pause_per_occupancy;  ///< scaled by heap occupancy
+  double full_gc_threshold;           ///< occupancy above which full GCs occur
+  SimTime full_gc_pause;
+};
+
+JvmGcConfig default_gc_config();
+
+class Jvm {
+ public:
+  Jvm(sim::Simulation& sim, Cpu& cpu, Heap& heap, util::Rng rng,
+      JvmGcConfig config);
+
+  /// Begin the periodic GC process.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t minor_collections() const { return minor_; }
+  [[nodiscard]] std::uint64_t full_collections() const { return full_; }
+  [[nodiscard]] SimTime total_pause_time() const { return total_pause_; }
+
+ private:
+  void check();
+
+  sim::Simulation& sim_;
+  Cpu& cpu_;
+  Heap& heap_;
+  util::Rng rng_;
+  JvmGcConfig config_;
+  sim::PeriodicTimer timer_;
+  std::uint64_t minor_ = 0;
+  std::uint64_t full_ = 0;
+  SimTime total_pause_ = 0;
+};
+
+}  // namespace gridmon::cluster

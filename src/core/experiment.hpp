@@ -1,0 +1,99 @@
+// Experiment harness: the paper's test campaign as a library.
+//
+// A Narada experiment stands up brokers (single or DBN) on the Hydra model,
+// a fleet of simulated power generators (one client connection each, the
+// paper's "concurrent connections"), and subscriber programs; an R-GMA
+// experiment stands up registry/producer/consumer services, producer
+// clients, and a polling subscriber, optionally routing through a Secondary
+// Producer. Both return the same Results bundle the paper's figures are
+// drawn from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "jms/message.hpp"
+#include "narada/transport.hpp"
+#include "util/units.hpp"
+
+namespace gridmon::core {
+
+struct ResourceUsage {
+  double cpu_idle_pct = 100.0;       ///< mean over server hosts and samples
+  std::int64_t memory_bytes = 0;     ///< peak-bottom, averaged over servers
+};
+
+struct Results {
+  Metrics metrics;
+  ResourceUsage servers;
+  std::uint64_t events_forwarded = 0;  ///< broker→broker traffic (Narada)
+  std::uint64_t refused = 0;           ///< connections/producers refused
+  bool completed = true;               ///< false if the run hit a hard wall
+
+  [[nodiscard]] bool hit_oom_wall() const { return refused > 0; }
+};
+
+// --- NaradaBrokering ---------------------------------------------------------
+
+struct NaradaConfig {
+  int generators = 800;
+  narada::TransportKind transport = narada::TransportKind::kTcp;
+  jms::AcknowledgeMode ack_mode = jms::AcknowledgeMode::kAutoAcknowledge;
+  /// Brokers live on these Hydra hosts; one host = the single-broker tests,
+  /// four hosts = the paper's DBN.
+  std::vector<int> broker_hosts = {0};
+  bool subscription_aware_routing = false;  ///< ablation: fix the deficiency
+  /// Extra payload bytes (0 = the paper's standard message; the Triple test
+  /// pads to three times the standard size and publishes at 1/3 rate).
+  std::int64_t pad_bytes = 0;
+  /// The paper ran non-persistent delivery; kPersistent makes the broker
+  /// write every event to stable storage first (ablation).
+  jms::DeliveryMode delivery_mode = jms::DeliveryMode::kNonPersistent;
+  SimTime creation_interval = units::milliseconds(500);
+  SimTime warmup_min = units::seconds(10);
+  SimTime warmup_max = units::seconds(20);
+  SimTime publish_period = units::seconds(10);
+  SimTime duration = units::minutes(30);  ///< per-generator publishing window
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Results run_narada_experiment(const NaradaConfig& config);
+
+// --- R-GMA -------------------------------------------------------------------
+
+struct RgmaConfig {
+  int producers = 400;
+  /// Single server: all three services on one host. Distributed: the
+  /// paper's 2 producer + 2 consumer nodes.
+  bool distributed = false;
+  bool via_secondary_producer = false;  ///< Fig 10 chain
+  SimTime secondary_delay = units::seconds(30);
+  /// 0/0 disables the warm-up sleep (the paper's loss experiment).
+  SimTime warmup_min = units::seconds(10);
+  SimTime warmup_max = units::seconds(20);
+  SimTime creation_interval = units::seconds(1);
+  SimTime publish_period = units::seconds(10);
+  SimTime poll_period = units::milliseconds(100);
+  SimTime duration = units::minutes(30);
+  std::uint64_t seed = 1;
+  /// HTTPS between R-GMA components (the paper avoided it; ablation).
+  bool secure = false;
+  /// Legacy StreamProducer/Archiver delivery path (the API related work
+  /// [11] measured; ablation for the paper's §III.F.3 discrepancy).
+  bool legacy_stream_api = false;
+};
+
+[[nodiscard]] Results run_rgma_experiment(const RgmaConfig& config);
+
+/// Scale an experiment duration down uniformly (used by quick test modes;
+/// benches run the paper-faithful 30 minutes).
+template <typename Config>
+Config scaled(Config config, double factor) {
+  config.duration = static_cast<SimTime>(
+      static_cast<double>(config.duration) * factor);
+  return config;
+}
+
+}  // namespace gridmon::core

@@ -1,0 +1,21 @@
+#include "core/metrics.hpp"
+
+namespace gridmon::core {
+
+void Metrics::record(SimTime before_sending, SimTime after_sending,
+                     SimTime before_receiving, SimTime after_receiving) {
+  const double rtt = units::to_millis(after_receiving - before_sending);
+  rtt_ms_.add(rtt);
+  prt_ms_.add(units::to_millis(after_sending - before_sending));
+  pt_ms_.add(units::to_millis(before_receiving - after_sending));
+  srt_ms_.add(units::to_millis(after_receiving - before_receiving));
+}
+
+double Metrics::loss_rate() const {
+  if (sent_ == 0) return 0.0;
+  const std::uint64_t recv = received();
+  if (recv >= sent_) return 0.0;
+  return static_cast<double>(sent_ - recv) / static_cast<double>(sent_);
+}
+
+}  // namespace gridmon::core

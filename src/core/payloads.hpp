@@ -1,0 +1,47 @@
+// The paper's exact monitoring payloads.
+//
+// NaradaBrokering tests: a JMS MapMessage with two int, five float, two
+// long, three double and four string values (§III.E).
+// R-GMA tests: four integer, eight double and four char(20) values wrapped
+// in an SQL INSERT statement (§III.F).
+//
+// Both carry the generator id (used by the paper's "id<10000" selector) and
+// the send timestamp the receiving program logs for RTT computation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jms/message.hpp"
+#include "rgma/schema.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace gridmon::core {
+
+/// Build the Narada monitoring MapMessage for one reading.
+/// `origin_node` is stamped as a property so DBN subscribers can partition
+/// deliveries by origin (the paper received data on the node that sent it).
+/// `pad_bytes` > 0 appends filler to model the Triple-payload test.
+[[nodiscard]] jms::Message make_generator_message(
+    const std::string& topic, std::int64_t generator_id, std::int64_t sequence,
+    int origin_node, util::Rng& rng, std::int64_t pad_bytes = 0);
+
+/// The R-GMA monitoring table: 4 INTEGER + 8 DOUBLE + 4 CHAR(20).
+/// Columns: id, seq, sent_us (send time, µs), status; power, voltage,
+/// current, frequency, temperature, pressure, efficiency, loadpct;
+/// name, site, model, state.
+[[nodiscard]] rgma::TableDef generator_table(const std::string& name);
+
+/// Build one R-GMA row for the table above.
+[[nodiscard]] std::vector<rgma::SqlValue> make_generator_row(
+    std::int64_t generator_id, std::int64_t sequence, SimTime sent_at,
+    util::Rng& rng);
+
+/// Column indices the experiment harness reads back.
+inline constexpr std::size_t kRowIdColumn = 0;
+inline constexpr std::size_t kRowSeqColumn = 1;
+inline constexpr std::size_t kRowSentColumn = 2;
+
+}  // namespace gridmon::core

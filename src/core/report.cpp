@@ -1,0 +1,39 @@
+#include "core/report.hpp"
+
+namespace gridmon::core {
+
+std::vector<double> rtt_row(const Results& results) {
+  return {results.metrics.rtt_mean_ms(), results.metrics.rtt_stddev_ms()};
+}
+
+std::vector<double> percentile_row(const Results& results) {
+  std::vector<double> out;
+  out.reserve(paper_percentiles().size());
+  for (double pct : paper_percentiles()) {
+    out.push_back(results.metrics.rtt_percentile_ms(pct));
+  }
+  return out;
+}
+
+std::vector<double> resource_row(const Results& results) {
+  return {results.servers.cpu_idle_pct,
+          static_cast<double>(results.servers.memory_bytes) /
+              static_cast<double>(units::MiB)};
+}
+
+std::vector<double> decomposition_row(const Results& results) {
+  const double prt = results.metrics.prt_ms().mean();
+  const double pt = results.metrics.pt_ms().mean();
+  const double srt = results.metrics.srt_ms().mean();
+  return {0.0, prt, prt + pt, prt + pt + srt};
+}
+
+std::string grade_realtime(const Results& results) {
+  const double p998 = results.metrics.rtt_percentile_ms(99.8);
+  if (p998 <= 100.0) return "Very good";
+  if (p998 <= 1000.0) return "Good";
+  if (p998 <= 5000.0) return "Average";
+  return "Poor";
+}
+
+}  // namespace gridmon::core

@@ -1,0 +1,36 @@
+// Report helpers: format experiment results as the paper's tables and
+// figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace gridmon::core {
+
+/// The percentile axis the paper's figures use.
+inline const std::vector<double>& paper_percentiles() {
+  static const std::vector<double> kPercentiles = {95, 96, 97, 98, 99, 100};
+  return kPercentiles;
+}
+
+/// One "RTT / STDDEV" row (Figs 3, 7, 11).
+[[nodiscard]] std::vector<double> rtt_row(const Results& results);
+
+/// One percentile series row (Figs 4, 8, 9, 10, 12, 14), in ms.
+[[nodiscard]] std::vector<double> percentile_row(const Results& results);
+
+/// One "CPU idle / memory(MB)" row (Figs 6, 13).
+[[nodiscard]] std::vector<double> resource_row(const Results& results);
+
+/// Render the RTT decomposition (Fig 15) as cumulative phase timestamps
+/// relative to before_sending: {before_sending, after_sending,
+/// before_receiving, after_receiving} means, in ms.
+[[nodiscard]] std::vector<double> decomposition_row(const Results& results);
+
+/// Table III-style qualitative grade from measured numbers.
+[[nodiscard]] std::string grade_realtime(const Results& results);
+
+}  // namespace gridmon::core

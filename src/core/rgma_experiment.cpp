@@ -1,0 +1,307 @@
+#include <memory>
+#include <unordered_map>
+
+#include "cluster/hydra.hpp"
+#include "cluster/vmstat.hpp"
+#include "core/experiment.hpp"
+#include "core/payloads.hpp"
+#include "rgma/network.hpp"
+#include "rgma/secondary_producer.hpp"
+#include "util/log.hpp"
+
+namespace gridmon::core {
+namespace {
+
+constexpr SimTime kStartTime = units::seconds(1);
+constexpr const char* kTable = "generators";
+constexpr const char* kSecondaryTable = "generators_sp";
+
+struct SentRecord {
+  SimTime before_sending;
+  SimTime after_sending;
+};
+
+[[nodiscard]] std::int64_t row_key(std::int64_t id, std::int64_t seq) {
+  return id * 1'000'000'000 + seq;
+}
+
+/// One simulated power generator on the R-GMA side: owns a PrimaryProducer
+/// registration and inserts a row every period (§III.F).
+class RgmaGenerator {
+ public:
+  RgmaGenerator(cluster::Hydra& hydra, int host, net::HttpClient& http,
+                net::Endpoint service, const RgmaConfig& config,
+                std::int64_t id, Metrics& metrics,
+                std::unordered_map<std::int64_t, SentRecord>& in_flight)
+      : hydra_(hydra),
+        config_(config),
+        id_(id),
+        metrics_(metrics),
+        in_flight_(in_flight),
+        rng_(hydra.sim().rng_stream("rgma.generator").stream(
+            static_cast<std::uint64_t>(id))),
+        producer_(hydra.host(host), http, service, static_cast<int>(id),
+                  kTable) {}
+
+  void start() {
+    producer_.declare([this](bool ok) {
+      if (!ok) {
+        metrics_.count_refused_connection();
+        return;
+      }
+      remaining_ = config_.publish_period > 0
+                       ? config_.duration / config_.publish_period
+                       : 0;
+      SimTime warmup;
+      if (config_.warmup_max > 0) {
+        warmup = static_cast<SimTime>(
+            rng_.uniform(static_cast<double>(config_.warmup_min),
+                         static_cast<double>(config_.warmup_max)));
+      } else {
+        // No warm-up wait (the paper's loss experiment): the publish loop
+        // still starts at a uniformly random phase within one period, so a
+        // producer's first insert races the mediator's attachment — most
+        // win, some lose their first tuple.
+        warmup = static_cast<SimTime>(
+            rng_.uniform(0.0, static_cast<double>(config_.publish_period)));
+      }
+      hydra_.sim().schedule_after(warmup, [this] { insert_next(); });
+    });
+  }
+
+ private:
+  void insert_next() {
+    if (remaining_ <= 0) return;
+    --remaining_;
+    const SimTime before = hydra_.sim().now();
+    const std::int64_t seq = sequence_++;
+    auto row = make_generator_row(id_, seq, before, rng_);
+    producer_.insert(std::move(row), [this, before, seq](bool ok,
+                                                         SimTime after) {
+      if (ok) {
+        metrics_.count_sent();
+        in_flight_.emplace(row_key(id_, seq), SentRecord{before, after});
+      }
+    });
+    hydra_.sim().schedule_after(config_.publish_period,
+                                [this] { insert_next(); });
+  }
+
+  cluster::Hydra& hydra_;
+  const RgmaConfig& config_;
+  std::int64_t id_;
+  Metrics& metrics_;
+  std::unordered_map<std::int64_t, SentRecord>& in_flight_;
+  util::Rng rng_;
+  rgma::PrimaryProducer producer_;
+  std::int64_t sequence_ = 0;
+  std::int64_t remaining_ = 0;
+};
+
+/// The subscriber program: polls the Consumer every 100 ms and logs
+/// received tuples (the paper notes this adds up to 100 ms of measurement
+/// quantisation).
+class Subscriber {
+ public:
+  Subscriber(cluster::Hydra& hydra, int host, net::HttpClient& http,
+             net::Endpoint consumer_service, int consumer_id,
+             std::string query, SimTime poll_period, Metrics& metrics,
+             std::unordered_map<std::int64_t, SentRecord>& in_flight)
+      : hydra_(hydra),
+        consumer_(hydra.host(host), http, consumer_service, consumer_id,
+                  std::move(query)),
+        poll_period_(poll_period),
+        metrics_(metrics),
+        in_flight_(in_flight) {}
+
+  void start() {
+    consumer_.create([this](bool ok) {
+      if (!ok) {
+        GRIDMON_WARN("rgma.subscriber") << "consumer creation refused";
+        return;
+      }
+      timer_ = sim::PeriodicTimer(
+          hydra_.sim(), hydra_.sim().now() + poll_period_, poll_period_,
+          [this] { poll(); });
+    });
+  }
+
+  void stop() { timer_.cancel(); }
+
+ private:
+  void poll() {
+    if (polling_) return;  // the previous poll has not returned yet
+    polling_ = true;
+    consumer_.poll([this](std::vector<rgma::Tuple> tuples,
+                          SimTime before_receiving) {
+      polling_ = false;
+      const SimTime now = hydra_.sim().now();
+      for (const auto& tuple : tuples) {
+        if (tuple.values.size() <= kRowSentColumn) continue;
+        const auto* id = std::get_if<std::int64_t>(&tuple.values[kRowIdColumn]);
+        const auto* seq =
+            std::get_if<std::int64_t>(&tuple.values[kRowSeqColumn]);
+        if (id == nullptr || seq == nullptr) continue;
+        const auto it = in_flight_.find(row_key(*id, *seq));
+        if (it == in_flight_.end()) continue;
+        metrics_.record(it->second.before_sending, it->second.after_sending,
+                        before_receiving, now);
+        in_flight_.erase(it);
+      }
+    });
+  }
+
+  cluster::Hydra& hydra_;
+  rgma::Consumer consumer_;
+  SimTime poll_period_;
+  Metrics& metrics_;
+  std::unordered_map<std::int64_t, SentRecord>& in_flight_;
+  sim::PeriodicTimer timer_;
+  bool polling_ = false;
+};
+
+}  // namespace
+
+Results run_rgma_experiment(const RgmaConfig& config) {
+  cluster::HydraConfig hydra_config;
+  hydra_config.seed = config.seed;
+  cluster::Hydra hydra(hydra_config);
+
+  // Deployment: single server (everything on host 0) or the paper's
+  // distributed architecture (2 producer nodes, 2 consumer nodes).
+  rgma::RgmaNetworkConfig net_config;
+  if (config.distributed) {
+    net_config.registry_host = 0;
+    net_config.producer_hosts = {0, 1};
+    net_config.consumer_hosts = {2, 3};
+  } else {
+    net_config.registry_host = 0;
+    net_config.producer_hosts = {0};
+    net_config.consumer_hosts = {0};
+  }
+  net_config.secure = config.secure;
+  net_config.legacy_stream_api = config.legacy_stream_api;
+  rgma::RgmaNetwork network(hydra, net_config);
+  network.create_table(generator_table(kTable));
+  if (config.via_secondary_producer) {
+    network.create_table(generator_table(kSecondaryTable));
+  }
+
+  Results results;
+  std::unordered_map<std::int64_t, SentRecord> in_flight;
+
+  // Client hosts: 4–7 run generator programs and the subscriber(s).
+  const std::vector<int> client_hosts = {4, 5, 6, 7};
+  std::vector<std::unique_ptr<net::HttpClient>> http_clients;
+  for (int host : client_hosts) {
+    http_clients.push_back(std::make_unique<net::HttpClient>(
+        hydra.streams(), net::Endpoint{host, 20000}));
+  }
+  auto http_for = [&](std::size_t index) -> net::HttpClient& {
+    return *http_clients[index % http_clients.size()];
+  };
+
+  // Secondary Producer chain (Fig 10): generators → PP("generators") →
+  // SP(deliberate delay) → PP("generators_sp") → Consumer → subscriber.
+  std::unique_ptr<rgma::SecondaryProducer> secondary;
+  std::unique_ptr<net::HttpClient> secondary_http;
+  if (config.via_secondary_producer) {
+    const int sp_host = config.distributed ? 1 : 0;
+    secondary_http = std::make_unique<net::HttpClient>(
+        hydra.streams(), net::Endpoint{sp_host, 21000});
+    secondary = std::make_unique<rgma::SecondaryProducer>(
+        hydra.host(sp_host), *secondary_http,
+        network.assign_consumer_service(), network.assign_producer_service(),
+        900000, kTable, kSecondaryTable, config.secondary_delay);
+    hydra.sim().schedule_at(kStartTime / 2,
+                            [&secondary] { secondary->start(nullptr); });
+  }
+
+  // Subscriber(s): one per consumer service, partitioned by generator id so
+  // every row is delivered exactly once.
+  const std::string table_to_watch =
+      config.via_secondary_producer ? kSecondaryTable : kTable;
+  std::vector<std::unique_ptr<Subscriber>> subscribers;
+  const int consumer_services = network.consumer_service_count();
+  for (int c = 0; c < consumer_services; ++c) {
+    std::string query = "SELECT * FROM " + table_to_watch;
+    if (consumer_services > 1) {
+      // Content-based partitioning across consumer services.
+      const int share = config.producers / consumer_services + 1;
+      const int lo = c * share;
+      const int hi = lo + share;
+      query += " WHERE id >= " + std::to_string(lo) + " AND id < " +
+               std::to_string(hi);
+    } else {
+      query += " WHERE id < 1000000";  // the paper-style no-op filter
+    }
+    subscribers.push_back(std::make_unique<Subscriber>(
+        hydra, client_hosts[static_cast<std::size_t>(c) % client_hosts.size()],
+        http_for(static_cast<std::size_t>(c)),
+        network.consumer_service(c).endpoint(), 800000 + c, std::move(query),
+        config.poll_period, results.metrics, in_flight));
+    hydra.sim().schedule_at(kStartTime / 2, [sub = subscribers.back().get()] {
+      sub->start();
+    });
+  }
+
+  // Producer fleet on the paper's 1 s creation stagger.
+  std::vector<std::unique_ptr<RgmaGenerator>> fleet;
+  fleet.reserve(static_cast<std::size_t>(config.producers));
+  for (int g = 0; g < config.producers; ++g) {
+    const std::size_t client = static_cast<std::size_t>(g) % client_hosts.size();
+    fleet.push_back(std::make_unique<RgmaGenerator>(
+        hydra, client_hosts[client], http_for(client),
+        network.assign_producer_service(), config, g, results.metrics,
+        in_flight));
+    hydra.sim().schedule_at(kStartTime + config.creation_interval * g,
+                            [gen = fleet.back().get()] { gen->start(); });
+  }
+
+  // vmstat over the steady window on every server host.
+  std::vector<int> server_hosts = net_config.producer_hosts;
+  for (int h : net_config.consumer_hosts) {
+    bool seen = false;
+    for (int s : server_hosts) seen |= (s == h);
+    if (!seen) server_hosts.push_back(h);
+  }
+  const SimTime steady_begin = kStartTime +
+                               config.creation_interval * config.producers +
+                               config.warmup_max;
+  const SimTime measure_end = steady_begin + config.duration;
+  std::vector<std::unique_ptr<cluster::VmstatSampler>> mem_samplers;
+  std::vector<std::unique_ptr<cluster::VmstatSampler>> cpu_samplers;
+  for (int host : server_hosts) {
+    mem_samplers.push_back(
+        std::make_unique<cluster::VmstatSampler>(hydra.host(host)));
+    cpu_samplers.push_back(
+        std::make_unique<cluster::VmstatSampler>(hydra.host(host)));
+    auto* mem = mem_samplers.back().get();
+    auto* cpu = cpu_samplers.back().get();
+    hydra.sim().schedule_at(kStartTime, [mem] { mem->start(); });
+    hydra.sim().schedule_at(steady_begin, [cpu] { cpu->start(); });
+    hydra.sim().schedule_at(measure_end, [mem, cpu] {
+      mem->stop();
+      cpu->stop();
+    });
+  }
+
+  const SimTime drain = units::seconds(30) + config.secondary_delay +
+                        (config.via_secondary_producer ? units::seconds(30)
+                                                       : SimTime{0});
+  hydra.sim().run_until(measure_end + drain);
+
+  double idle_sum = 0.0;
+  std::int64_t mem_sum = 0;
+  for (auto& sampler : cpu_samplers) idle_sum += sampler->mean_cpu_idle();
+  for (auto& sampler : mem_samplers) mem_sum += sampler->memory_consumption();
+  results.servers.cpu_idle_pct =
+      idle_sum / static_cast<double>(cpu_samplers.size());
+  results.servers.memory_bytes =
+      mem_sum / static_cast<std::int64_t>(mem_samplers.size());
+  results.refused = results.metrics.refused_connections();
+  results.completed = results.refused == 0;
+  return results;
+}
+
+}  // namespace gridmon::core

@@ -1,0 +1,111 @@
+#include "core/scenarios.hpp"
+
+namespace gridmon::core::scenarios {
+namespace {
+
+SimTime g_duration = units::minutes(30);
+
+}  // namespace
+
+void set_quick_mode_minutes(int minutes) {
+  g_duration = units::minutes(minutes);
+}
+
+SimTime scenario_duration() { return g_duration; }
+
+std::vector<ComparisonTest> narada_comparison_tests(std::uint64_t seed) {
+  using narada::TransportKind;
+  std::vector<ComparisonTest> tests;
+
+  NaradaConfig base;
+  base.generators = 800;
+  base.duration = g_duration;
+  base.seed = seed;
+
+  {
+    ComparisonTest t{"UDP", base};
+    t.config.transport = TransportKind::kUdp;
+    tests.push_back(std::move(t));
+  }
+  {
+    ComparisonTest t{"UDP CLI", base};
+    t.config.transport = TransportKind::kUdp;
+    t.config.ack_mode = jms::AcknowledgeMode::kClientAcknowledge;
+    tests.push_back(std::move(t));
+  }
+  {
+    ComparisonTest t{"NIO", base};
+    t.config.transport = TransportKind::kNio;
+    tests.push_back(std::move(t));
+  }
+  {
+    ComparisonTest t{"TCP", base};
+    t.config.transport = TransportKind::kTcp;
+    tests.push_back(std::move(t));
+  }
+  {
+    // Test 5: triple payload at one third the rate — total data unchanged.
+    ComparisonTest t{"Triple", base};
+    t.config.transport = TransportKind::kTcp;
+    t.config.pad_bytes = 2 * 430;  // standard message ≈ 430 B on the wire
+    t.config.publish_period = base.publish_period * 3;
+    tests.push_back(std::move(t));
+  }
+  {
+    // Test 6: 80 connections publishing ten times as fast.
+    ComparisonTest t{"80", base};
+    t.config.transport = TransportKind::kTcp;
+    t.config.generators = 80;
+    t.config.publish_period = base.publish_period / 10;
+    tests.push_back(std::move(t));
+  }
+  return tests;
+}
+
+NaradaConfig narada_single(int connections, std::uint64_t seed) {
+  NaradaConfig config;
+  config.generators = connections;
+  config.broker_hosts = {0};
+  config.duration = g_duration;
+  config.seed = seed;
+  return config;
+}
+
+NaradaConfig narada_dbn(int connections, std::uint64_t seed) {
+  NaradaConfig config;
+  config.generators = connections;
+  config.broker_hosts = {0, 1, 2, 3};
+  config.duration = g_duration;
+  config.seed = seed;
+  return config;
+}
+
+RgmaConfig rgma_single(int connections, std::uint64_t seed) {
+  RgmaConfig config;
+  config.producers = connections;
+  config.distributed = false;
+  config.duration = g_duration;
+  config.seed = seed;
+  return config;
+}
+
+RgmaConfig rgma_distributed(int connections, std::uint64_t seed) {
+  RgmaConfig config = rgma_single(connections, seed);
+  config.distributed = true;
+  return config;
+}
+
+RgmaConfig rgma_with_secondary(int connections, std::uint64_t seed) {
+  RgmaConfig config = rgma_single(connections, seed);
+  config.via_secondary_producer = true;
+  return config;
+}
+
+RgmaConfig rgma_no_warmup(std::uint64_t seed) {
+  RgmaConfig config = rgma_single(400, seed);
+  config.warmup_min = 0;
+  config.warmup_max = 0;
+  return config;
+}
+
+}  // namespace gridmon::core::scenarios

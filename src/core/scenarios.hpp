@@ -1,0 +1,50 @@
+// The paper's experiment catalogue: one named configuration per table /
+// figure, so tests, benches and examples share identical setups.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace gridmon::core::scenarios {
+
+/// Table II / Fig 3 / Fig 4: the six comparison tests at 800 connections
+/// (80 for test 6), 30 minutes, on a single broker.
+struct ComparisonTest {
+  std::string label;
+  NaradaConfig config;
+};
+[[nodiscard]] std::vector<ComparisonTest> narada_comparison_tests(
+    std::uint64_t seed = 1);
+
+/// Fig 6–8: single-broker scaling points (the paper plots 500–3000 and
+/// notes the OOM wall at 4000).
+[[nodiscard]] NaradaConfig narada_single(int connections,
+                                         std::uint64_t seed = 1);
+
+/// Fig 6, 7, 9: DBN scaling points (4 brokers: 2 publishing,
+/// 2 subscribing).
+[[nodiscard]] NaradaConfig narada_dbn(int connections, std::uint64_t seed = 1);
+
+/// Fig 11–13: R-GMA Primary Producer + Consumer on a single server.
+[[nodiscard]] RgmaConfig rgma_single(int connections, std::uint64_t seed = 1);
+
+/// Fig 11, 13, 14: distributed R-GMA (2 producer + 2 consumer nodes).
+[[nodiscard]] RgmaConfig rgma_distributed(int connections,
+                                          std::uint64_t seed = 1);
+
+/// Fig 10: Primary + Secondary Producer chain.
+[[nodiscard]] RgmaConfig rgma_with_secondary(int connections,
+                                             std::uint64_t seed = 1);
+
+/// §III.F: the no-warm-up loss experiment (400 producers publishing
+/// immediately; the paper measured 0.17 % loss).
+[[nodiscard]] RgmaConfig rgma_no_warmup(std::uint64_t seed = 1);
+
+/// Duration override helper for fast CI runs (benches use the full
+/// 30-minute paper setting by default; tests shrink it).
+void set_quick_mode_minutes(int minutes);
+[[nodiscard]] SimTime scenario_duration();
+
+}  // namespace gridmon::core::scenarios

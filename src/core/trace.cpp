@@ -1,0 +1,32 @@
+#include "core/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gridmon::core {
+
+std::string TraceWriter::render_csv() const {
+  std::ostringstream out;
+  out << "generator_id,sequence,before_sending_us,after_sending_us,"
+         "before_receiving_us,after_receiving_us,rtt_ms\n";
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  for (const auto& r : records_) {
+    out << r.generator_id << ',' << r.sequence << ','
+        << r.before_sending / 1000 << ',' << r.after_sending / 1000 << ','
+        << r.before_receiving / 1000 << ',' << r.after_receiving / 1000 << ','
+        << r.rtt_ms() << '\n';
+  }
+  return out.str();
+}
+
+bool TraceWriter::write_csv(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string csv = render_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), file) == csv.size();
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace gridmon::core

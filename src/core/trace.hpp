@@ -1,0 +1,52 @@
+// Per-message trace dumping.
+//
+// The paper's receiving program "dumped information of the monitoring data
+// (such as sending and receiving time) into a local text file for later
+// analysis" — this is that file. A TraceWriter collects one record per
+// delivered message and writes a CSV suitable for replotting any of the
+// paper's figures from raw data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace gridmon::core {
+
+struct TraceRecord {
+  std::int64_t generator_id = 0;
+  std::int64_t sequence = 0;
+  SimTime before_sending = 0;
+  SimTime after_sending = 0;
+  SimTime before_receiving = 0;
+  SimTime after_receiving = 0;
+
+  [[nodiscard]] double rtt_ms() const {
+    return units::to_millis(after_receiving - before_sending);
+  }
+};
+
+class TraceWriter {
+ public:
+  void add(TraceRecord record) { records_.push_back(record); }
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+
+  /// Render all records as CSV (header + one line per message, times in
+  /// virtual microseconds).
+  [[nodiscard]] std::string render_csv() const;
+
+  /// Write the CSV to `path`. Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace gridmon::core

@@ -1,0 +1,149 @@
+// GMA adapters: express the Narada client and the R-GMA API in GMA's
+// producer/consumer/directory vocabulary.
+#pragma once
+
+#include <memory>
+
+#include "gma/gma.hpp"
+#include "narada/client.hpp"
+#include "rgma/api.hpp"
+
+namespace gridmon::gma {
+
+/// A Narada JMS client seen as a GMA producer (topic = subject).
+class NaradaProducer final : public Producer {
+ public:
+  NaradaProducer(std::string name, std::string topic,
+                 std::shared_ptr<narada::NaradaClient> client)
+      : name_(std::move(name)),
+        topic_(std::move(topic)),
+        client_(std::move(client)) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  void publish(MonitoringEvent event) override {
+    jms::Message message = *event.payload;  // copy; provider stamps headers
+    message.destination = topic_;
+    client_->publish(std::move(message));
+  }
+
+ private:
+  std::string name_;
+  std::string topic_;
+  std::shared_ptr<narada::NaradaClient> client_;
+};
+
+/// A Narada JMS client seen as a GMA consumer. Only publish/subscribe mode
+/// is natural for a JMS topic; query() drains nothing because topics have
+/// no retained history (that asymmetry versus R-GMA is one of the paper's
+/// qualitative comparison points).
+class NaradaConsumer final : public Consumer {
+ public:
+  NaradaConsumer(std::string name,
+                 std::shared_ptr<narada::NaradaClient> client)
+      : name_(std::move(name)), client_(std::move(client)) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  void subscribe(const std::string& subject, EventSink sink) override {
+    client_->subscribe(subject, "", jms::AcknowledgeMode::kAutoAcknowledge,
+                       [sink = std::move(sink), seq = std::int64_t{0}](
+                           const jms::MessagePtr& message, SimTime) mutable {
+                         MonitoringEvent event;
+                         event.source = message->message_id;
+                         event.payload = message;
+                         event.sequence = seq++;
+                         sink(event);
+                       });
+  }
+
+  void query(const std::string& subject, EventSink sink) override {
+    // JMS topics retain nothing: a query/response returns the empty set.
+    (void)subject;
+    (void)sink;
+  }
+
+ private:
+  std::string name_;
+  std::shared_ptr<narada::NaradaClient> client_;
+};
+
+/// An R-GMA Primary Producer seen as a GMA producer: events become rows in
+/// the virtual database. The payload must be a MapMessage whose entries
+/// line up with the table's columns (by column order of the row builder
+/// used by the caller); here we accept pre-built rows via a converter.
+class RgmaProducer final : public Producer {
+ public:
+  using RowConverter =
+      std::function<std::vector<rgma::SqlValue>(const MonitoringEvent&)>;
+
+  RgmaProducer(std::string name, std::shared_ptr<rgma::PrimaryProducer> api,
+               RowConverter convert)
+      : name_(std::move(name)),
+        api_(std::move(api)),
+        convert_(std::move(convert)) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  void publish(MonitoringEvent event) override {
+    api_->insert(convert_(event));
+  }
+
+ private:
+  std::string name_;
+  std::shared_ptr<rgma::PrimaryProducer> api_;
+  RowConverter convert_;
+};
+
+/// An R-GMA consumer seen through GMA: subscribe() maps to the continuous
+/// query plus the polling loop; query() maps to a one-time latest query —
+/// the transfer mode JMS topics cannot offer (GMA's query/response).
+class RgmaConsumer final : public Consumer {
+ public:
+  using TupleConverter = std::function<MonitoringEvent(const rgma::Tuple&)>;
+
+  RgmaConsumer(std::string name, std::shared_ptr<rgma::Consumer> api,
+               sim::Simulation& sim, SimTime poll_period,
+               TupleConverter convert)
+      : name_(std::move(name)),
+        api_(std::move(api)),
+        sim_(sim),
+        poll_period_(poll_period),
+        convert_(std::move(convert)) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  void subscribe(const std::string& subject, EventSink sink) override {
+    (void)subject;  // the continuous query was fixed at consumer creation
+    sink_ = std::move(sink);
+    poller_ = sim::PeriodicTimer(sim_, sim_.now() + poll_period_,
+                                 poll_period_, [this] {
+                                   api_->poll([this](std::vector<rgma::Tuple>
+                                                         tuples,
+                                                     SimTime) {
+                                     for (const auto& tuple : tuples) {
+                                       if (sink_) sink_(convert_(tuple));
+                                     }
+                                   });
+                                 });
+  }
+
+  void query(const std::string& subject, EventSink sink) override {
+    (void)subject;
+    api_->query_latest([this, sink = std::move(sink)](
+                           std::vector<rgma::Tuple> tuples, SimTime) {
+      for (const auto& tuple : tuples) sink(convert_(tuple));
+    });
+  }
+
+ private:
+  std::string name_;
+  std::shared_ptr<rgma::Consumer> api_;
+  sim::Simulation& sim_;
+  SimTime poll_period_;
+  TupleConverter convert_;
+  EventSink sink_;
+  sim::PeriodicTimer poller_;
+};
+
+}  // namespace gridmon::gma

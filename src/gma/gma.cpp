@@ -1,0 +1,41 @@
+#include "gma/gma.hpp"
+
+namespace gridmon::gma {
+
+std::string to_string(TransferMode mode) {
+  switch (mode) {
+    case TransferMode::kPublishSubscribe:
+      return "publish/subscribe";
+    case TransferMode::kQueryResponse:
+      return "query/response";
+    case TransferMode::kNotification:
+      return "notification";
+  }
+  return "?";
+}
+
+void DirectoryService::register_entry(DirectoryEntry entry) {
+  entries_[entry.name] = std::move(entry);
+}
+
+void DirectoryService::unregister(const std::string& name) {
+  entries_.erase(name);
+}
+
+std::vector<DirectoryEntry> DirectoryService::find_by_subject(
+    const std::string& subject) const {
+  std::vector<DirectoryEntry> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.subject == subject) out.push_back(entry);
+  }
+  return out;
+}
+
+std::optional<DirectoryEntry> DirectoryService::find_by_name(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace gridmon::gma

@@ -1,0 +1,88 @@
+// Grid Monitoring Architecture (GGF GFD.7) abstractions.
+//
+// GMA decomposes a monitoring system into producers, consumers and a
+// directory service, and defines three data-transfer modes. Both candidate
+// middlewares instantiate this architecture; the adapters in this module
+// express them in GMA terms so experiment code can be written against the
+// architecture rather than a particular middleware.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jms/message.hpp"
+
+namespace gridmon::gma {
+
+/// GMA data-transfer modes (GFD.7 §3).
+enum class TransferMode {
+  kPublishSubscribe,  ///< either side initiates; stream until terminated
+  kQueryResponse,     ///< consumer initiates; all data in one response
+  kNotification,      ///< producer initiates; all data in one notification
+};
+
+[[nodiscard]] std::string to_string(TransferMode mode);
+
+/// One monitoring event flowing through the architecture.
+struct MonitoringEvent {
+  std::string source;                  ///< producer identity
+  jms::MessagePtr payload;             ///< the data record
+  std::int64_t sequence = 0;
+};
+
+using EventSink = std::function<void(const MonitoringEvent&)>;
+
+/// Producer interface: gathers data from an instrument/host and makes it
+/// available to consumers.
+class Producer {
+ public:
+  virtual ~Producer() = default;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// Publish one event (publish/subscribe or notification mode).
+  virtual void publish(MonitoringEvent event) = 0;
+};
+
+/// Consumer interface: receives data from producers.
+class Consumer {
+ public:
+  virtual ~Consumer() = default;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// Begin receiving (publish/subscribe mode).
+  virtual void subscribe(const std::string& subject, EventSink sink) = 0;
+  /// One-shot query (query/response mode): deliver everything currently
+  /// available for `subject` through `sink`, then stop.
+  virtual void query(const std::string& subject, EventSink sink) = 0;
+};
+
+/// Directory-service entry: who serves which subject, and how.
+struct DirectoryEntry {
+  std::string name;
+  std::string subject;
+  bool is_producer = true;
+  std::vector<TransferMode> modes;
+  std::string address;  ///< middleware-specific locator
+};
+
+/// The GMA directory service: producers/consumers publish their existence
+/// and metadata; peers search it to find each other. Data never flows
+/// through the directory — separating discovery from transfer is GMA's
+/// scalability principle.
+class DirectoryService {
+ public:
+  void register_entry(DirectoryEntry entry);
+  void unregister(const std::string& name);
+
+  [[nodiscard]] std::vector<DirectoryEntry> find_by_subject(
+      const std::string& subject) const;
+  [[nodiscard]] std::optional<DirectoryEntry> find_by_name(
+      const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, DirectoryEntry> entries_;
+};
+
+}  // namespace gridmon::gma

@@ -1,0 +1,53 @@
+// JMS destinations and the client-facing pub/sub interfaces.
+//
+// These are the vendor-neutral JMS abstractions the paper's test programs
+// code against; src/narada provides the concrete provider.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "jms/message.hpp"
+
+namespace gridmon::jms {
+
+enum class DestinationKind { kTopic, kQueue };
+
+struct Destination {
+  DestinationKind kind = DestinationKind::kTopic;
+  std::string name;
+
+  friend bool operator==(const Destination&, const Destination&) = default;
+};
+
+inline Destination topic(std::string name) {
+  return Destination{DestinationKind::kTopic, std::move(name)};
+}
+inline Destination queue(std::string name) {
+  return Destination{DestinationKind::kQueue, std::move(name)};
+}
+
+/// Asynchronous delivery callback (JMS MessageListener::onMessage).
+using MessageListener = std::function<void(const MessagePtr&)>;
+
+/// Producer half of a session (JMS TopicPublisher).
+class TopicPublisher {
+ public:
+  virtual ~TopicPublisher() = default;
+  /// Publish `message` to this publisher's topic. The provider stamps
+  /// JMSMessageID and JMSTimestamp.
+  virtual void publish(Message message) = 0;
+  [[nodiscard]] virtual const Destination& destination() const = 0;
+};
+
+/// Consumer half of a session (JMS TopicSubscriber with a listener).
+class TopicSubscriber {
+ public:
+  virtual ~TopicSubscriber() = default;
+  virtual void set_listener(MessageListener listener) = 0;
+  /// CLIENT_ACKNOWLEDGE mode: acknowledge all messages received so far.
+  virtual void acknowledge() = 0;
+  [[nodiscard]] virtual const Destination& destination() const = 0;
+};
+
+}  // namespace gridmon::jms

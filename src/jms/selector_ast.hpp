@@ -1,0 +1,90 @@
+// Selector AST (internal to the jms library).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jms/value.hpp"
+
+namespace gridmon::jms::ast {
+
+enum class BinaryOp {
+  // arithmetic
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  // comparison
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // logic
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp { kNeg, kPos, kNot };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Literal {
+  Value value;
+};
+
+struct Identifier {
+  std::string name;
+};
+
+struct Unary {
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct Binary {
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Between {
+  bool negated;
+  ExprPtr value;
+  ExprPtr low;
+  ExprPtr high;
+};
+
+struct InList {
+  bool negated;
+  ExprPtr value;
+  std::vector<std::string> options;
+};
+
+struct Like {
+  bool negated;
+  ExprPtr value;
+  std::string pattern;
+  char escape = '\0';  ///< 0 = no escape character
+};
+
+struct IsNull {
+  bool negated;
+  ExprPtr value;
+};
+
+struct Expr {
+  std::variant<Literal, Identifier, Unary, Binary, Between, InList, Like,
+               IsNull>
+      node;
+};
+
+template <typename Node>
+ExprPtr make_expr(Node node) {
+  return std::make_shared<const Expr>(Expr{std::move(node)});
+}
+
+}  // namespace gridmon::jms::ast

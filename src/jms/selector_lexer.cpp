@@ -1,0 +1,203 @@
+#include "jms/selector_lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+#include "jms/selector.hpp"
+
+namespace gridmon::jms {
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& keywords() {
+  static const std::unordered_map<std::string, TokenKind> kMap = {
+      {"AND", TokenKind::kAnd},     {"OR", TokenKind::kOr},
+      {"NOT", TokenKind::kNot},     {"BETWEEN", TokenKind::kBetween},
+      {"IN", TokenKind::kIn},       {"LIKE", TokenKind::kLike},
+      {"ESCAPE", TokenKind::kEscape}, {"IS", TokenKind::kIs},
+      {"NULL", TokenKind::kNull},   {"TRUE", TokenKind::kTrue},
+      {"FALSE", TokenKind::kFalse},
+  };
+  return kMap;
+}
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool ident_part(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '.';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize_selector(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto push = [&](TokenKind kind, std::size_t at, std::string text = {}) {
+    Token tok;
+    tok.kind = kind;
+    tok.text = std::move(text);
+    tok.position = at;
+    tokens.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_part(source[j])) ++j;
+      const std::string_view word = source.substr(i, j - i);
+      const auto kw = keywords().find(upper(word));
+      if (kw != keywords().end()) {
+        push(kw->second, start);
+      } else {
+        push(TokenKind::kIdentifier, start, std::string(word));
+      }
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+      if (j < n && source[j] == '.') {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+      }
+      if (j < n && (source[j] == 'e' || source[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (source[k] == '+' || source[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(source[k]))) {
+          is_double = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+        }
+      }
+      const std::string_view num = source.substr(i, j - i);
+      Token tok;
+      tok.position = start;
+      if (is_double) {
+        tok.kind = TokenKind::kDoubleLiteral;
+        tok.double_value = std::stod(std::string(num));
+      } else {
+        tok.kind = TokenKind::kIntLiteral;
+        const auto result = std::from_chars(num.data(), num.data() + num.size(),
+                                            tok.int_value);
+        if (result.ec != std::errc{}) {
+          throw SelectorParseError("integer literal out of range", start);
+        }
+      }
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+
+    if (c == '\'') {
+      // SQL string literal; '' is an escaped quote.
+      std::string text;
+      std::size_t j = i + 1;
+      for (;;) {
+        if (j >= n) {
+          throw SelectorParseError("unterminated string literal", start);
+        }
+        if (source[j] == '\'') {
+          if (j + 1 < n && source[j + 1] == '\'') {
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          ++j;
+          break;
+        }
+        text += source[j];
+        ++j;
+      }
+      push(TokenKind::kStringLiteral, start, std::move(text));
+      i = j;
+      continue;
+    }
+
+    switch (c) {
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '>') {
+          push(TokenKind::kNeq, start);
+          i += 2;
+        } else if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        continue;
+      case '+':
+        push(TokenKind::kPlus, start);
+        ++i;
+        continue;
+      case '-':
+        push(TokenKind::kMinus, start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++i;
+        continue;
+      case '/':
+        push(TokenKind::kSlash, start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        continue;
+      default:
+        throw SelectorParseError(std::string("unexpected character '") + c +
+                                     "'",
+                                 start);
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace gridmon::jms

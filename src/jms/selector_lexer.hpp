@@ -1,0 +1,56 @@
+// Selector tokenizer (internal to the jms library).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridmon::jms {
+
+enum class TokenKind {
+  kIdentifier,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // keywords
+  kAnd,
+  kOr,
+  kNot,
+  kBetween,
+  kIn,
+  kLike,
+  kEscape,
+  kIs,
+  kNull,
+  kTrue,
+  kFalse,
+  // operators / punctuation
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kLParen,
+  kRParen,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;       ///< identifier name or string literal contents
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::size_t position = 0;  ///< offset in the selector source
+};
+
+/// Tokenizes the whole selector. Throws SelectorParseError on bad input.
+std::vector<Token> tokenize_selector(std::string_view source);
+
+}  // namespace gridmon::jms

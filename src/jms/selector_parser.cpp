@@ -1,0 +1,248 @@
+// Recursive-descent parser for the selector grammar.
+//
+//   or_expr    := and_expr ( OR and_expr )*
+//   and_expr   := not_expr ( AND not_expr )*
+//   not_expr   := NOT not_expr | predicate
+//   predicate  := arith [ cmp_op arith
+//                       | [NOT] BETWEEN arith AND arith
+//                       | [NOT] IN '(' string (',' string)* ')'
+//                       | [NOT] LIKE string [ESCAPE string]
+//                       | IS [NOT] NULL ]
+//   arith      := term ( (+|-) term )*
+//   term       := factor ( (*|/) factor )*
+//   factor     := (+|-) factor | primary
+//   primary    := literal | identifier | '(' or_expr ')'
+#include "jms/selector.hpp"
+#include "jms/selector_ast.hpp"
+#include "jms/selector_lexer.hpp"
+
+namespace gridmon::jms {
+namespace {
+
+using ast::BinaryOp;
+using ast::ExprPtr;
+using ast::UnaryOp;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ExprPtr parse() {
+    ExprPtr expr = or_expr();
+    expect(TokenKind::kEnd, "trailing input after expression");
+    return expr;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool check(TokenKind kind) const { return peek().kind == kind; }
+  bool accept(TokenKind kind) {
+    if (check(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(TokenKind kind, const char* what) {
+    if (!accept(kind)) {
+      throw SelectorParseError(std::string("expected ") + what,
+                               peek().position);
+    }
+  }
+
+  ExprPtr or_expr() {
+    ExprPtr lhs = and_expr();
+    while (accept(TokenKind::kOr)) {
+      lhs = ast::make_expr(ast::Binary{BinaryOp::kOr, lhs, and_expr()});
+    }
+    return lhs;
+  }
+
+  ExprPtr and_expr() {
+    ExprPtr lhs = not_expr();
+    while (accept(TokenKind::kAnd)) {
+      lhs = ast::make_expr(ast::Binary{BinaryOp::kAnd, lhs, not_expr()});
+    }
+    return lhs;
+  }
+
+  ExprPtr not_expr() {
+    if (accept(TokenKind::kNot)) {
+      return ast::make_expr(ast::Unary{UnaryOp::kNot, not_expr()});
+    }
+    return predicate();
+  }
+
+  ExprPtr predicate() {
+    ExprPtr lhs = arith();
+
+    // Optional comparison.
+    static constexpr struct {
+      TokenKind token;
+      BinaryOp op;
+    } kComparisons[] = {
+        {TokenKind::kEq, BinaryOp::kEq},  {TokenKind::kNeq, BinaryOp::kNeq},
+        {TokenKind::kLt, BinaryOp::kLt},  {TokenKind::kLe, BinaryOp::kLe},
+        {TokenKind::kGt, BinaryOp::kGt},  {TokenKind::kGe, BinaryOp::kGe},
+    };
+    for (const auto& cmp : kComparisons) {
+      if (accept(cmp.token)) {
+        return ast::make_expr(ast::Binary{cmp.op, lhs, arith()});
+      }
+    }
+
+    bool negated = false;
+    if (check(TokenKind::kNot)) {
+      // NOT here must be followed by BETWEEN/IN/LIKE.
+      const Token& next = tokens_[pos_ + 1];
+      if (next.kind == TokenKind::kBetween || next.kind == TokenKind::kIn ||
+          next.kind == TokenKind::kLike) {
+        ++pos_;
+        negated = true;
+      } else {
+        return lhs;
+      }
+    }
+
+    if (accept(TokenKind::kBetween)) {
+      ExprPtr low = arith();
+      expect(TokenKind::kAnd, "AND in BETWEEN");
+      ExprPtr high = arith();
+      return ast::make_expr(ast::Between{negated, lhs, low, high});
+    }
+    if (accept(TokenKind::kIn)) {
+      expect(TokenKind::kLParen, "'(' after IN");
+      std::vector<std::string> options;
+      do {
+        if (!check(TokenKind::kStringLiteral)) {
+          throw SelectorParseError("IN list elements must be string literals",
+                                   peek().position);
+        }
+        options.push_back(advance().text);
+      } while (accept(TokenKind::kComma));
+      expect(TokenKind::kRParen, "')' after IN list");
+      return ast::make_expr(ast::InList{negated, lhs, std::move(options)});
+    }
+    if (accept(TokenKind::kLike)) {
+      if (!check(TokenKind::kStringLiteral)) {
+        throw SelectorParseError("LIKE pattern must be a string literal",
+                                 peek().position);
+      }
+      std::string pattern = advance().text;
+      char escape = '\0';
+      if (accept(TokenKind::kEscape)) {
+        if (!check(TokenKind::kStringLiteral) || peek().text.size() != 1) {
+          throw SelectorParseError(
+              "ESCAPE must be a single-character string literal",
+              peek().position);
+        }
+        escape = advance().text[0];
+      }
+      return ast::make_expr(
+          ast::Like{negated, lhs, std::move(pattern), escape});
+    }
+    if (accept(TokenKind::kIs)) {
+      const bool is_not = accept(TokenKind::kNot);
+      expect(TokenKind::kNull, "NULL after IS");
+      return ast::make_expr(ast::IsNull{is_not, lhs});
+    }
+    if (negated) {
+      throw SelectorParseError("expected BETWEEN, IN or LIKE after NOT",
+                               peek().position);
+    }
+    return lhs;
+  }
+
+  ExprPtr arith() {
+    ExprPtr lhs = term();
+    for (;;) {
+      if (accept(TokenKind::kPlus)) {
+        lhs = ast::make_expr(ast::Binary{BinaryOp::kAdd, lhs, term()});
+      } else if (accept(TokenKind::kMinus)) {
+        lhs = ast::make_expr(ast::Binary{BinaryOp::kSub, lhs, term()});
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr term() {
+    ExprPtr lhs = factor();
+    for (;;) {
+      if (accept(TokenKind::kStar)) {
+        lhs = ast::make_expr(ast::Binary{BinaryOp::kMul, lhs, factor()});
+      } else if (accept(TokenKind::kSlash)) {
+        lhs = ast::make_expr(ast::Binary{BinaryOp::kDiv, lhs, factor()});
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr factor() {
+    if (accept(TokenKind::kMinus)) {
+      return ast::make_expr(ast::Unary{UnaryOp::kNeg, factor()});
+    }
+    if (accept(TokenKind::kPlus)) {
+      return ast::make_expr(ast::Unary{UnaryOp::kPos, factor()});
+    }
+    return primary();
+  }
+
+  ExprPtr primary() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::kIntLiteral:
+        advance();
+        return ast::make_expr(ast::Literal{Value{tok.int_value}});
+      case TokenKind::kDoubleLiteral:
+        advance();
+        return ast::make_expr(ast::Literal{Value{tok.double_value}});
+      case TokenKind::kStringLiteral:
+        advance();
+        return ast::make_expr(ast::Literal{Value{tok.text}});
+      case TokenKind::kTrue:
+        advance();
+        return ast::make_expr(ast::Literal{Value{true}});
+      case TokenKind::kFalse:
+        advance();
+        return ast::make_expr(ast::Literal{Value{false}});
+      case TokenKind::kIdentifier:
+        advance();
+        return ast::make_expr(ast::Identifier{tok.text});
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr inner = or_expr();
+        expect(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      default:
+        throw SelectorParseError("expected literal, identifier or '('",
+                                 tok.position);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+bool is_blank(std::string_view text) {
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Selector Selector::parse(std::string_view text) {
+  Selector selector;
+  selector.text_ = std::string(text);
+  if (is_blank(text)) return selector;  // match-everything
+  Parser parser(tokenize_selector(text));
+  selector.root_ = parser.parse();
+  return selector;
+}
+
+}  // namespace gridmon::jms

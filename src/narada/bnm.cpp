@@ -1,0 +1,110 @@
+#include "narada/bnm.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace gridmon::narada {
+
+BrokerNetworkMap::BrokerNetworkMap(int broker_count) {
+  if (broker_count < 0) {
+    throw std::invalid_argument("BrokerNetworkMap: negative broker count");
+  }
+  adjacency_.resize(static_cast<std::size_t>(broker_count));
+}
+
+int BrokerNetworkMap::add_broker() {
+  adjacency_.emplace_back();
+  return broker_count() - 1;
+}
+
+void BrokerNetworkMap::check(int broker) const {
+  if (broker < 0 || broker >= broker_count()) {
+    throw std::out_of_range("BrokerNetworkMap: invalid broker index " +
+                            std::to_string(broker));
+  }
+}
+
+void BrokerNetworkMap::add_link(int a, int b, double cost) {
+  check(a);
+  check(b);
+  if (a == b) throw std::invalid_argument("BrokerNetworkMap: self link");
+  if (cost <= 0) throw std::invalid_argument("BrokerNetworkMap: cost <= 0");
+  adjacency_[static_cast<std::size_t>(a)].push_back(Edge{b, cost});
+  adjacency_[static_cast<std::size_t>(b)].push_back(Edge{a, cost});
+}
+
+bool BrokerNetworkMap::linked(int a, int b) const {
+  check(a);
+  check(b);
+  const auto& edges = adjacency_[static_cast<std::size_t>(a)];
+  return std::any_of(edges.begin(), edges.end(),
+                     [b](const Edge& e) { return e.to == b; });
+}
+
+void BrokerNetworkMap::dijkstra(int from, std::vector<double>& dist,
+                                std::vector<int>& prev) const {
+  const auto n = adjacency_.size();
+  dist.assign(n, kUnreachable);
+  prev.assign(n, -1);
+  dist[static_cast<std::size_t>(from)] = 0.0;
+
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.emplace(0.0, from);
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const Edge& edge : adjacency_[static_cast<std::size_t>(u)]) {
+      const double nd = d + edge.cost;
+      if (nd < dist[static_cast<std::size_t>(edge.to)]) {
+        dist[static_cast<std::size_t>(edge.to)] = nd;
+        prev[static_cast<std::size_t>(edge.to)] = u;
+        frontier.emplace(nd, edge.to);
+      }
+    }
+  }
+}
+
+double BrokerNetworkMap::distance(int from, int to) const {
+  check(from);
+  check(to);
+  std::vector<double> dist;
+  std::vector<int> prev;
+  dijkstra(from, dist, prev);
+  return dist[static_cast<std::size_t>(to)];
+}
+
+std::vector<int> BrokerNetworkMap::shortest_path(int from, int to) const {
+  check(from);
+  check(to);
+  std::vector<double> dist;
+  std::vector<int> prev;
+  dijkstra(from, dist, prev);
+  if (dist[static_cast<std::size_t>(to)] == kUnreachable) return {};
+  std::vector<int> path;
+  for (int at = to; at != -1; at = prev[static_cast<std::size_t>(at)]) {
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int BrokerNetworkMap::next_hop(int from, int to) const {
+  if (from == to) return -1;
+  const auto path = shortest_path(from, to);
+  if (path.size() < 2) return -1;
+  return path[1];
+}
+
+std::vector<int> BrokerNetworkMap::neighbours(int broker) const {
+  check(broker);
+  std::vector<int> out;
+  for (const Edge& e : adjacency_[static_cast<std::size_t>(broker)]) {
+    out.push_back(e.to);
+  }
+  return out;
+}
+
+}  // namespace gridmon::narada

@@ -1,0 +1,57 @@
+// Broker Network Map: the graph of brokers in a NaradaBrokering deployment.
+//
+// NaradaBrokering organises brokers into a network map and routes events to
+// destinations over shortest paths (the paper: "a very efficient algorithm
+// to find a shortest route"). This class is the map plus the routing
+// computation (Dijkstra over link costs); the DBN uses it to decide next
+// hops when subscription-aware routing is enabled.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gridmon::narada {
+
+class BrokerNetworkMap {
+ public:
+  static constexpr double kUnreachable =
+      std::numeric_limits<double>::infinity();
+
+  explicit BrokerNetworkMap(int broker_count = 0);
+
+  /// Add a broker; returns its index.
+  int add_broker();
+  [[nodiscard]] int broker_count() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Add an undirected link with positive cost.
+  void add_link(int a, int b, double cost = 1.0);
+  [[nodiscard]] bool linked(int a, int b) const;
+
+  /// Shortest-path distance (kUnreachable if disconnected).
+  [[nodiscard]] double distance(int from, int to) const;
+
+  /// First hop on a shortest path from `from` to `to`; -1 if unreachable
+  /// or from == to.
+  [[nodiscard]] int next_hop(int from, int to) const;
+
+  /// Full shortest path including both endpoints; empty if unreachable.
+  [[nodiscard]] std::vector<int> shortest_path(int from, int to) const;
+
+  /// Neighbours of a broker.
+  [[nodiscard]] std::vector<int> neighbours(int broker) const;
+
+ private:
+  struct Edge {
+    int to;
+    double cost;
+  };
+  void check(int broker) const;
+  /// Dijkstra from `from`; fills dist and predecessor arrays.
+  void dijkstra(int from, std::vector<double>& dist,
+                std::vector<int>& prev) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace gridmon::narada

@@ -1,0 +1,421 @@
+#include "narada/broker.hpp"
+
+#include <algorithm>
+
+#include "cluster/costs.hpp"
+#include "util/log.hpp"
+
+namespace gridmon::narada {
+
+namespace costs = cluster::costs;
+
+Broker::Broker(cluster::Host& host, net::Lan& lan,
+               net::StreamTransport& streams, BrokerConfig config)
+    : host_(host),
+      lan_(lan),
+      streams_(streams),
+      config_(config),
+      rng_(host.sim().rng_stream("narada.broker." +
+                                 std::to_string(config.broker_id))) {}
+
+Broker::~Broker() {
+  if (started_) {
+    streams_.close_listener(config_.endpoint);
+    if (lan_.bound(config_.endpoint)) lan_.unbind(config_.endpoint);
+  }
+}
+
+void Broker::start() {
+  started_ = true;
+  streams_.listen(config_.endpoint, [this](net::StreamConnectionPtr conn) {
+    on_stream_accept(std::move(conn));
+  });
+  lan_.bind(config_.endpoint,
+            [this](const net::Datagram& dg) { on_udp_datagram(dg); });
+  if (config_.transport == TransportKind::kUdp) {
+    udp_ack_timer_ = sim::PeriodicTimer(
+        host_.sim(), host_.sim().now() + costs::kUdpAckFlushPeriod,
+        costs::kUdpAckFlushPeriod, [this] {
+          // Acknowledge and release everything that arrived this cycle.
+          while (!udp_pending_.empty()) {
+            FramePtr frame = udp_pending_.front();
+            udp_pending_.pop_front();
+            host_.cpu().charge(costs::kUdpAckProcessing);
+            lan_.send_datagram(config_.endpoint, frame->reply_to,
+                               kControlFrameBytes, FramePtr{});
+            ++stats_.udp_acks_sent;
+            ingest_publish(frame);
+          }
+        });
+  }
+}
+
+void Broker::on_stream_accept(net::StreamConnectionPtr conn) {
+  // Blocking TCP dedicates a thread per connection; NIO only allocates
+  // connection buffers on the shared selector loop.
+  bool admitted;
+  if (config_.transport == TransportKind::kNio) {
+    admitted = host_.heap().allocate(costs::kConnectionBufferBytes);
+  } else {
+    admitted = host_.spawn_thread(costs::kConnectionBufferBytes);
+  }
+  if (!admitted) {
+    ++stats_.connections_refused;
+    if (stats_.connections_refused == 1) {
+      GRIDMON_WARN("narada.broker")
+          << "broker " << config_.broker_id
+          << " refused connection (out of memory), threads="
+          << host_.threads() << " (further refusals logged at debug)";
+    } else {
+      GRIDMON_DEBUG("narada.broker")
+          << "broker " << config_.broker_id << " refused connection";
+    }
+    conn->close();
+    return;
+  }
+  ++stats_.connections_accepted;
+  conn->set_handler(1, [this, conn](const net::Datagram& dg) {
+    on_client_frame(conn, dg);
+  });
+  // Welcome handshake: client treats close-before-welcome as refusal.
+  Frame welcome;
+  welcome.kind = FrameKind::kDeliver;
+  welcome.topic = "$welcome";
+  conn->send(1, kControlFrameBytes, std::make_shared<const Frame>(welcome));
+}
+
+void Broker::on_client_frame(const net::StreamConnectionPtr& conn,
+                             const net::Datagram& datagram) {
+  const auto frame = std::any_cast<FramePtr>(datagram.payload);
+  switch (frame->kind) {
+    case FrameKind::kSubscribe: {
+      Subscription sub;
+      sub.id = next_subscription_id_++;
+      sub.topic = frame->topic;
+      sub.is_queue = frame->is_queue;
+      sub.selector = jms::Selector::parse(frame->selector);
+      sub.ack_mode = frame->ack_mode;
+      sub.conn = conn;
+      sub.conn_side = 1;
+      subscriptions_.push_back(std::move(sub));
+      advertise_subscription(frame->topic);
+      break;
+    }
+    case FrameKind::kUnsubscribe:
+      std::erase_if(subscriptions_, [&](const Subscription& s) {
+        return s.conn == conn && s.topic == frame->topic;
+      });
+      break;
+    case FrameKind::kPublish: {
+      if (config_.transport == TransportKind::kNio) {
+        // Selector-based server: the event is picked up at the next
+        // selector wakeup rather than by a blocked reader thread.
+        const auto delay = static_cast<SimTime>(
+            rng_.uniform(0.0, static_cast<double>(costs::kNioPollGranularity)));
+        host_.sim().schedule_after(delay,
+                                   [this, frame] { ingest_publish(frame); });
+      } else {
+        ingest_publish(frame);
+      }
+      break;
+    }
+    case FrameKind::kClientAck:
+      // Session acknowledgement bookkeeping.
+      host_.cpu().charge(costs::kUdpAckProcessing);
+      break;
+    default:
+      break;
+  }
+}
+
+void Broker::on_udp_datagram(const net::Datagram& datagram) {
+  if (!datagram.payload.has_value()) return;
+  const auto* maybe = std::any_cast<FramePtr>(&datagram.payload);
+  if (maybe == nullptr || !*maybe) return;
+  const FramePtr frame = *maybe;
+  switch (frame->kind) {
+    case FrameKind::kSubscribe: {
+      if (!host_.heap().allocate(costs::kConnectionBufferBytes / 4)) {
+        ++stats_.connections_refused;
+        return;
+      }
+      ++stats_.connections_accepted;
+      Subscription sub;
+      sub.id = next_subscription_id_++;
+      sub.topic = frame->topic;
+      sub.is_queue = frame->is_queue;
+      sub.selector = jms::Selector::parse(frame->selector);
+      sub.ack_mode = frame->ack_mode;
+      sub.via_udp = true;
+      sub.udp = frame->reply_to;
+      subscriptions_.push_back(std::move(sub));
+      advertise_subscription(frame->topic);
+      // Welcome datagram completes the client's registration.
+      Frame welcome;
+      welcome.kind = FrameKind::kDeliver;
+      welcome.topic = "$welcome";
+      lan_.send_datagram(config_.endpoint, frame->reply_to, kControlFrameBytes,
+                         std::make_shared<const Frame>(welcome));
+      break;
+    }
+    case FrameKind::kPublish:
+      // JMS-over-UDP: Narada acknowledges each packet on its bookkeeping
+      // cycle before releasing it downstream — the paper's explanation for
+      // UDP's surprisingly high round-trip times.
+      udp_pending_.push_back(frame);
+      break;
+    case FrameKind::kClientAck:
+      host_.cpu().charge(costs::kUdpAckProcessing);
+      break;
+    default:
+      break;
+  }
+}
+
+SimTime Broker::event_service_demand(std::int64_t bytes, int fanout) const {
+  SimTime demand = costs::kBrokerServiceBase +
+                   static_cast<SimTime>(static_cast<double>(bytes) *
+                                        costs::kSerializePerByteNs) +
+                   costs::kBrokerFanoutCost * fanout;
+  return host_.loaded(demand, costs::kThreadLoadFactor);
+}
+
+void Broker::ingest_publish(const FramePtr& frame) {
+  ++stats_.events_received;
+  const bool aggregated = !frame->batch.empty();
+  if (!aggregated && !frame->message) return;
+  std::int64_t bytes = 0;
+  std::size_t message_count = 1;
+  if (aggregated) {
+    message_count = frame->batch.size();
+    for (const auto& message : frame->batch) bytes += message->wire_size();
+  } else {
+    bytes = frame->message->wire_size();
+  }
+
+  // Queued events hold heap while in flight (raises GC pressure under
+  // load). Intentionally unchecked: a full heap degrades, not refuses.
+  const std::int64_t transient = bytes * 3;
+  (void)host_.heap().allocate(transient);
+
+  // Count local matches first: fanout is part of the service demand. An
+  // aggregated frame pays the dispatch base once but matches per message —
+  // the amortisation that makes aggregation pay off.
+  int fanout = 0;
+  for (const auto& sub : subscriptions_) {
+    if (sub.topic == frame->topic) ++fanout;
+  }
+  SimTime demand =
+      event_service_demand(bytes, fanout * static_cast<int>(message_count));
+
+  // Persistent delivery: force each event to stable storage before any
+  // forwarding (the paper's tests ran non-persistent; the ablation bench
+  // measures this alternative).
+  const jms::MessagePtr& probe =
+      aggregated ? frame->batch.front() : frame->message;
+  if (probe->delivery_mode == jms::DeliveryMode::kPersistent) {
+    demand += (costs::kPersistWriteBase +
+               static_cast<SimTime>(static_cast<double>(bytes) *
+                                    costs::kPersistPerByteNs)) *
+              static_cast<SimTime>(message_count);
+  }
+
+  host_.cpu().execute(demand, [this, frame, transient, aggregated] {
+    if (aggregated) {
+      for (const auto& message : frame->batch) {
+        deliver_local(message, frame->topic, frame->is_queue);
+      }
+    } else {
+      deliver_local(frame->message, frame->topic, frame->is_queue);
+    }
+    disseminate(frame);
+    host_.heap().release(transient);
+  });
+}
+
+void Broker::deliver_local(const jms::MessagePtr& message,
+                           const std::string& topic, bool is_queue) {
+  auto send_to = [&](const Subscription& sub) {
+    auto deliver = std::make_shared<const Frame>(Frame{
+        FrameKind::kDeliver, topic, {}, sub.ack_mode, sub.id, message, -1, -1,
+        {}});
+    const std::int64_t wire = frame_wire_size(*deliver);
+    if (sub.via_udp) {
+      lan_.send_datagram(config_.endpoint, sub.udp, wire, deliver);
+    } else if (sub.conn && sub.conn->open()) {
+      sub.conn->send(sub.conn_side, wire, deliver);
+    }
+    ++stats_.events_delivered;
+  };
+
+  if (!is_queue) {
+    for (const auto& sub : subscriptions_) {
+      if (sub.topic != topic || sub.is_queue) continue;
+      if (!sub.selector.matches(*message)) continue;
+      send_to(sub);
+    }
+    return;
+  }
+
+  // PTP queue: exactly one matching receiver gets the message, rotating
+  // round-robin so load spreads across competing receivers.
+  std::vector<const Subscription*> matching;
+  for (const auto& sub : subscriptions_) {
+    if (sub.topic != topic || !sub.is_queue) continue;
+    if (!sub.selector.matches(*message)) continue;
+    matching.push_back(&sub);
+  }
+  if (matching.empty()) return;  // no receiver: dropped (no queue persistence)
+  const std::size_t pick = queue_cursor_[topic]++ % matching.size();
+  send_to(*matching[pick]);
+}
+
+void Broker::disseminate(const FramePtr& frame) {
+  if (peers_.empty()) return;
+
+  std::int64_t bytes = frame->message ? frame->message->wire_size() : 0;
+  for (const auto& message : frame->batch) bytes += message->wire_size();
+  const auto copy_cost = static_cast<SimTime>(static_cast<double>(bytes) *
+                                              costs::kSerializePerByteNs);
+  auto make_forward = [&](int final_broker) {
+    Frame fwd;
+    fwd.kind = FrameKind::kForward;
+    fwd.topic = frame->topic;
+    fwd.ack_mode = frame->ack_mode;
+    fwd.message = frame->message;
+    fwd.batch = frame->batch;
+    fwd.origin_broker = config_.broker_id;
+    fwd.final_broker = final_broker;
+    return std::make_shared<const Frame>(std::move(fwd));
+  };
+
+  if (!config_.subscription_aware_routing) {
+    // v1.1.3 behaviour: broadcast the event to every peer, whether or not a
+    // subscriber lives there (the deficiency the paper observed as
+    // "unnecessary data flow between nodes"). Each extra copy costs the
+    // origin broker serialisation CPU and link bandwidth.
+    for (const Peer& peer : peers_) {
+      host_.cpu().charge(host_.loaded(copy_cost, costs::kThreadLoadFactor));
+      send_to_peer(peer.id, make_forward(-1));
+    }
+    return;
+  }
+
+  // Subscription-aware routing: an event travels only toward brokers that
+  // advertised interest in the topic, along shortest paths in the map.
+  // Advertisements flood (deduplicated), so every broker knows every
+  // broker's topic interest.
+  if (map_ == nullptr) return;
+  for (int target = 0; target < map_->broker_count(); ++target) {
+    if (target == config_.broker_id) continue;
+    const auto it = remote_topics_.find(target);
+    const bool interested =
+        it != remote_topics_.end() && it->second.contains(frame->topic);
+    if (!interested) continue;
+    const int hop = map_->next_hop(config_.broker_id, target);
+    if (hop < 0) continue;
+    host_.cpu().charge(host_.loaded(copy_cost, costs::kThreadLoadFactor));
+    send_to_peer(hop, make_forward(target));
+  }
+}
+
+void Broker::ingest_forward(const FramePtr& frame) {
+  ++stats_.events_from_peers;
+  // A relayed event costs the receiving broker real work: deserialise the
+  // inter-broker frame, then run the same matching/dispatch pipeline as a
+  // locally published event. Under the broadcast deficiency every broker
+  // pays this for every event in the network — the "unnecessary data flow"
+  // whose CPU cost the paper observed in Fig 6.
+  std::int64_t bytes = frame->message ? frame->message->wire_size() : 0;
+  for (const auto& message : frame->batch) bytes += message->wire_size();
+  int fanout = 0;
+  for (const auto& sub : subscriptions_) {
+    if (sub.topic == frame->topic) ++fanout;
+  }
+  const std::int64_t transient = bytes * 3;
+  (void)host_.heap().allocate(transient);
+  // Dissemination runs on the broker's dedicated relay threads, so relay
+  // work does not pay the connection-thread context-switch inflation —
+  // otherwise two publishing brokers broadcasting at each other go
+  // supercritical long before the paper's DBN did.
+  const SimTime demand =
+      costs::kBrokerForwardCost + costs::kBrokerServiceBase +
+      static_cast<SimTime>(static_cast<double>(bytes) *
+                           costs::kSerializePerByteNs) +
+      costs::kBrokerFanoutCost * fanout;
+  host_.cpu().execute(
+      demand,
+      [this, frame, transient] {
+        host_.heap().release(transient);
+        if (frame->final_broker == -1 ||
+            frame->final_broker == config_.broker_id) {
+          if (!frame->batch.empty()) {
+            for (const auto& message : frame->batch) {
+              deliver_local(message, frame->topic, frame->is_queue);
+            }
+          } else {
+            deliver_local(frame->message, frame->topic, frame->is_queue);
+          }
+          // Broadcast mode (-1) is terminal here: full mesh, single hop.
+          return;
+        }
+        // Relay toward the routed destination.
+        if (map_ == nullptr) return;
+        const int hop = map_->next_hop(config_.broker_id, frame->final_broker);
+        if (hop >= 0) send_to_peer(hop, frame);
+      });
+}
+
+void Broker::send_to_peer(int peer_id, const FramePtr& frame) {
+  const auto it = std::find_if(peers_.begin(), peers_.end(),
+                               [&](const Peer& p) { return p.id == peer_id; });
+  if (it == peers_.end() || !it->conn || !it->conn->open()) return;
+  it->conn->send(it->side, frame_wire_size(*frame), frame);
+  ++stats_.events_forwarded;
+}
+
+void Broker::advertise_subscription(const std::string& topic) {
+  for (const Peer& peer : peers_) {
+    if (!peer.conn || !peer.conn->open()) continue;
+    auto ad = std::make_shared<const Frame>(Frame{
+        FrameKind::kPeerSubscribe, topic, {}, {}, 0, nullptr,
+        config_.broker_id, -1, {}});
+    peer.conn->send(peer.side, kControlFrameBytes, ad);
+  }
+}
+
+void Broker::add_peer(int peer_id, net::StreamConnectionPtr conn, int side) {
+  const std::size_t index = peers_.size();
+  peers_.push_back(Peer{peer_id, conn, side});
+  conn->set_handler(side, [this, index](const net::Datagram& dg) {
+    on_peer_frame(index, dg);
+  });
+}
+
+void Broker::on_peer_frame(std::size_t peer_index,
+                           const net::Datagram& datagram) {
+  const auto frame = std::any_cast<FramePtr>(datagram.payload);
+  switch (frame->kind) {
+    case FrameKind::kPeerSubscribe: {
+      // Deduplicate before flooding onward, so advertisements terminate in
+      // cyclic topologies (the DBN mesh).
+      const bool fresh =
+          remote_topics_[frame->origin_broker].insert(frame->topic).second;
+      if (!fresh) break;
+      const int from_id = peers_[peer_index].id;
+      for (const Peer& other : peers_) {
+        if (other.id == from_id || other.id == frame->origin_broker) continue;
+        if (!other.conn || !other.conn->open()) continue;
+        other.conn->send(other.side, kControlFrameBytes, frame);
+      }
+      break;
+    }
+    case FrameKind::kForward:
+      ingest_forward(frame);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace gridmon::narada

@@ -1,0 +1,157 @@
+// NaradaBrokering-style message broker.
+//
+// One Broker runs on one Host. It accepts client links over blocking TCP
+// (thread per connection), NIO (selector event loop) or UDP (connectionless
+// with Narada's per-packet acknowledgement cycle), maintains a subscription
+// table with real JMS selector evaluation, and disseminates published events
+// to matching local subscribers and to peer brokers in a broker network.
+//
+// Scaling behaviour is emergent, not scripted:
+//  - each accepted TCP connection spawns a modelled thread (stack + buffers
+//    charged to the heap); allocation failure refuses the connection — the
+//    paper's OOM wall near 4000 connections;
+//  - per-event CPU demand is inflated by the live thread count (context
+//    switching), producing the smooth RTT growth of Fig 7;
+//  - queued events hold heap, which raises GC pressure, which produces the
+//    latency tail of Figs 4/8/9.
+//
+// The v1.1.3 deficiency the paper discovered — events broadcast to every
+// broker in a Distributed Broker Network whether or not a subscriber lives
+// there — is the default (`subscription_aware_routing = false`); flipping
+// the flag enables subscription-aware shortest-path routing over the Broker
+// Network Map, which bench_ablation_dbn_routing measures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/host.hpp"
+#include "jms/selector.hpp"
+#include "narada/bnm.hpp"
+#include "narada/frames.hpp"
+#include "narada/transport.hpp"
+#include "net/http.hpp"
+#include "net/stream.hpp"
+
+namespace gridmon::narada {
+
+struct BrokerConfig {
+  net::Endpoint endpoint;
+  TransportKind transport = TransportKind::kTcp;
+  int broker_id = 0;
+  /// false reproduces the v1.1.3 broadcast deficiency; true routes events
+  /// only toward brokers with matching subscriptions.
+  bool subscription_aware_routing = false;
+};
+
+struct BrokerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_refused = 0;
+  std::uint64_t events_received = 0;     ///< publishes from clients
+  std::uint64_t events_delivered = 0;    ///< deliveries to local subscribers
+  std::uint64_t events_forwarded = 0;    ///< relays to peer brokers
+  std::uint64_t events_from_peers = 0;
+  std::uint64_t udp_acks_sent = 0;
+};
+
+class Broker {
+ public:
+  Broker(cluster::Host& host, net::Lan& lan, net::StreamTransport& streams,
+         BrokerConfig config);
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Begin listening (stream) and bind the UDP port.
+  void start();
+
+  /// Wire this broker into a network: `conn` is an established inter-broker
+  /// stream, `side` our side of it. Called by the Dbn assembler.
+  void add_peer(int peer_id, net::StreamConnectionPtr conn, int side);
+
+  /// Provide the network map used for subscription-aware routing.
+  void set_network_map(const BrokerNetworkMap* map) { map_ = map; }
+
+  [[nodiscard]] const BrokerStats& stats() const { return stats_; }
+  [[nodiscard]] cluster::Host& host() { return host_; }
+  [[nodiscard]] net::Endpoint endpoint() const { return config_.endpoint; }
+  [[nodiscard]] int id() const { return config_.broker_id; }
+  [[nodiscard]] int subscription_count() const {
+    return static_cast<int>(subscriptions_.size());
+  }
+
+ private:
+  struct Subscription {
+    std::uint64_t id = 0;
+    std::string topic;
+    bool is_queue = false;  ///< PTP receiver rather than topic subscriber
+    jms::Selector selector;
+    jms::AcknowledgeMode ack_mode = jms::AcknowledgeMode::kAutoAcknowledge;
+    // Delivery target: stream connection (broker side) or UDP endpoint.
+    net::StreamConnectionPtr conn;
+    int conn_side = 1;
+    net::Endpoint udp;
+    bool via_udp = false;
+  };
+
+  struct Peer {
+    int id = -1;
+    net::StreamConnectionPtr conn;
+    int side = 0;
+  };
+
+  void on_stream_accept(net::StreamConnectionPtr conn);
+  void on_client_frame(const net::StreamConnectionPtr& conn,
+                       const net::Datagram& datagram);
+  void on_udp_datagram(const net::Datagram& datagram);
+  void on_peer_frame(std::size_t peer_index, const net::Datagram& datagram);
+
+  /// Ingest a publish from a client (after any transport-specific delay).
+  void ingest_publish(const FramePtr& frame);
+  /// Relay/terminate a forwarded event from a peer.
+  void ingest_forward(const FramePtr& frame);
+
+  /// Match subscriptions and deliver to local subscribers. Topics fan out;
+  /// queues round-robin among their receivers (JMS PTP).
+  void deliver_local(const jms::MessagePtr& message, const std::string& topic,
+                     bool is_queue);
+  /// Send the event toward peer brokers per the routing policy.
+  void disseminate(const FramePtr& frame);
+  void send_to_peer(int peer_id, const FramePtr& frame);
+  void advertise_subscription(const std::string& topic);
+
+  [[nodiscard]] SimTime event_service_demand(std::int64_t bytes,
+                                             int fanout) const;
+
+  cluster::Host& host_;
+  net::Lan& lan_;
+  net::StreamTransport& streams_;
+  BrokerConfig config_;
+  const BrokerNetworkMap* map_ = nullptr;
+  util::Rng rng_;
+
+  std::vector<Subscription> subscriptions_;
+  std::vector<Peer> peers_;
+  /// Topic interest advertised by each broker in the network (flooded
+  /// kPeerSubscribe frames, deduplicated by (origin, topic)).
+  std::map<int, std::set<std::string>> remote_topics_;
+  /// Round-robin cursor per queue destination (PTP dispatch).
+  std::map<std::string, std::size_t> queue_cursor_;
+  std::uint64_t next_subscription_id_ = 1;
+  std::uint64_t next_message_seq_ = 1;
+
+  /// UDP publishes held until the next acknowledgement flush.
+  std::deque<FramePtr> udp_pending_;
+  sim::PeriodicTimer udp_ack_timer_;
+  bool started_ = false;
+
+  BrokerStats stats_;
+};
+
+}  // namespace gridmon::narada

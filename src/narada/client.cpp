@@ -1,0 +1,278 @@
+#include "narada/client.hpp"
+
+#include "cluster/costs.hpp"
+
+namespace gridmon::narada {
+
+namespace costs = cluster::costs;
+
+std::shared_ptr<NaradaClient> NaradaClient::create(
+    cluster::Host& host, net::Lan& lan, net::StreamTransport& streams,
+    net::Endpoint broker, net::Endpoint local, TransportKind transport) {
+  return std::shared_ptr<NaradaClient>(
+      new NaradaClient(host, lan, streams, broker, local, transport));
+}
+
+NaradaClient::NaradaClient(cluster::Host& host, net::Lan& lan,
+                           net::StreamTransport& streams, net::Endpoint broker,
+                           net::Endpoint local, TransportKind transport)
+    : host_(host),
+      lan_(lan),
+      streams_(streams),
+      broker_(broker),
+      local_(local),
+      transport_(transport) {}
+
+NaradaClient::~NaradaClient() {
+  if (udp_bound_) lan_.unbind(local_);
+}
+
+void NaradaClient::connect(ReadyHandler on_ready) {
+  on_ready_ = std::move(on_ready);
+  if (transport_ == TransportKind::kUdp) {
+    // Connectionless: bind the local port for deliveries/acks and become
+    // ready immediately; registration happens per subscription.
+    lan_.bind(local_, [self = weak_from_this()](const net::Datagram& dg) {
+      if (auto client = self.lock()) client->on_frame(dg);
+    });
+    udp_bound_ = true;
+    ready_ = true;
+    if (on_ready_) on_ready_(true);
+    while (!backlog_.empty()) {
+      FramePtr frame = backlog_.front();
+      backlog_.pop_front();
+      send_frame(std::move(frame));
+    }
+    return;
+  }
+
+  streams_.connect(local_, broker_, [self = weak_from_this()](
+                                        net::StreamConnectionPtr conn) {
+    auto client = self.lock();
+    if (!client) return;
+    if (!conn) {
+      client->refused_ = true;
+      if (client->on_ready_) client->on_ready_(false);
+      return;
+    }
+    client->conn_ = conn;
+    conn->set_handler(
+        0,
+        [self](const net::Datagram& dg) {
+          if (auto c = self.lock()) c->on_frame(dg);
+        },
+        [self] {
+          auto c = self.lock();
+          if (!c) return;
+          if (!c->ready_) {
+            // Closed before the welcome frame: the broker refused us
+            // (out of memory creating the connection thread).
+            c->refused_ = true;
+            if (c->on_ready_) c->on_ready_(false);
+          }
+        });
+  });
+}
+
+void NaradaClient::send_frame(FramePtr frame) {
+  if (!ready_) {
+    backlog_.push_back(std::move(frame));
+    return;
+  }
+  const std::int64_t wire = frame_wire_size(*frame);
+  if (transport_ == TransportKind::kUdp) {
+    lan_.send_datagram(local_, broker_, wire, frame);
+  } else if (conn_ && conn_->open()) {
+    conn_->send(0, wire, frame);
+  }
+}
+
+void NaradaClient::subscribe(const std::string& topic,
+                             const std::string& selector,
+                             jms::AcknowledgeMode ack_mode,
+                             DeliveryListener listener) {
+  subscribed_topic_ = topic;
+  ack_mode_ = ack_mode;
+  listener_ = std::move(listener);
+
+  auto frame = std::make_shared<const Frame>(Frame{
+      FrameKind::kSubscribe, topic, selector, ack_mode, 0, nullptr, -1, -1,
+      local_});
+  send_frame(std::move(frame));
+}
+
+void NaradaClient::receive_from_queue(const std::string& queue,
+                                      const std::string& selector,
+                                      jms::AcknowledgeMode ack_mode,
+                                      DeliveryListener listener) {
+  subscribed_topic_ = queue;
+  ack_mode_ = ack_mode;
+  listener_ = std::move(listener);
+
+  Frame frame;
+  frame.kind = FrameKind::kSubscribe;
+  frame.topic = queue;
+  frame.is_queue = true;
+  frame.selector = selector;
+  frame.ack_mode = ack_mode;
+  frame.reply_to = local_;
+  send_frame(std::make_shared<const Frame>(std::move(frame)));
+}
+
+void NaradaClient::publish_to_queue(jms::Message message,
+                                    SendCallback on_sent) {
+  message.message_id = "ID:" + std::to_string(local_.node) + "-" +
+                       std::to_string(local_.port) + "-" +
+                       std::to_string(next_message_seq_++);
+  message.timestamp = host_.sim().now();
+  auto shared = std::make_shared<const jms::Message>(std::move(message));
+  const std::int64_t bytes = shared->wire_size();
+  const SimTime demand =
+      costs::kClientSendBase +
+      static_cast<SimTime>(static_cast<double>(bytes) *
+                           costs::kSerializePerByteNs);
+  host_.cpu().execute(demand, [self = shared_from_this(), shared,
+                               on_sent = std::move(on_sent)] {
+    Frame frame;
+    frame.kind = FrameKind::kPublish;
+    frame.topic = shared->destination;
+    frame.is_queue = true;
+    frame.ack_mode = self->ack_mode_;
+    frame.message = shared;
+    frame.reply_to = self->local_;
+    self->send_frame(std::make_shared<const Frame>(std::move(frame)));
+    ++self->published_;
+    if (on_sent) on_sent(self->host_.sim().now());
+  });
+}
+
+void NaradaClient::enable_aggregation(int batch_size, SimTime max_delay) {
+  aggregation_size_ = batch_size > 1 ? batch_size : 1;
+  aggregation_delay_ = max_delay;
+}
+
+void NaradaClient::flush_aggregation() {
+  if (aggregation_buffer_.empty()) return;
+  aggregation_flush_.cancel();
+  auto batch = std::move(aggregation_buffer_);
+  aggregation_buffer_.clear();
+
+  // One serialisation pass for the whole batch: per-message overhead is
+  // amortised — exactly the RMM effect.
+  std::int64_t bytes = kFrameHeaderBytes;
+  for (const auto& [message, cb] : batch) bytes += message->wire_size();
+  const SimTime demand =
+      costs::kClientSendBase +
+      static_cast<SimTime>(static_cast<double>(bytes) *
+                           costs::kSerializePerByteNs);
+  host_.cpu().execute(demand, [self = shared_from_this(),
+                               batch = std::move(batch)] {
+    Frame frame;
+    frame.kind = FrameKind::kPublish;
+    frame.topic = batch.front().first->destination;
+    frame.ack_mode = self->ack_mode_;
+    frame.reply_to = self->local_;
+    frame.batch.reserve(batch.size());
+    for (const auto& [message, cb] : batch) frame.batch.push_back(message);
+    self->send_frame(std::make_shared<const Frame>(std::move(frame)));
+    const SimTime now = self->host_.sim().now();
+    for (const auto& [message, cb] : batch) {
+      ++self->published_;
+      if (cb) cb(now);
+    }
+  });
+}
+
+void NaradaClient::publish(jms::Message message, SendCallback on_sent) {
+  // JMS provider stamps headers on send.
+  message.message_id = "ID:" + std::to_string(local_.node) + "-" +
+                       std::to_string(local_.port) + "-" +
+                       std::to_string(next_message_seq_++);
+  message.timestamp = host_.sim().now();
+  auto shared = std::make_shared<const jms::Message>(std::move(message));
+  const std::int64_t bytes = shared->wire_size();
+
+  if (aggregation_size_ > 1) {
+    aggregation_buffer_.emplace_back(shared, std::move(on_sent));
+    if (static_cast<int>(aggregation_buffer_.size()) >= aggregation_size_) {
+      flush_aggregation();
+    } else if (aggregation_buffer_.size() == 1) {
+      aggregation_flush_ = host_.sim().schedule_after(
+          aggregation_delay_,
+          [self = shared_from_this()] { self->flush_aggregation(); });
+    }
+    return;
+  }
+
+  // The synchronous half of publish: assemble + serialise on this host's
+  // CPU; the call "returns" when that completes.
+  const SimTime demand =
+      costs::kClientSendBase +
+      static_cast<SimTime>(static_cast<double>(bytes) *
+                           costs::kSerializePerByteNs);
+  host_.cpu().execute(demand, [self = shared_from_this(), shared,
+                               on_sent = std::move(on_sent)] {
+    auto frame = std::make_shared<const Frame>(Frame{
+        FrameKind::kPublish, shared->destination, {}, self->ack_mode_, 0,
+        shared, -1, -1, self->local_});
+    self->send_frame(std::move(frame));
+    ++self->published_;
+    if (on_sent) on_sent(self->host_.sim().now());
+  });
+}
+
+void NaradaClient::acknowledge() {
+  host_.cpu().charge(costs::kClientAckCost);
+  auto frame = std::make_shared<const Frame>(Frame{
+      FrameKind::kClientAck, subscribed_topic_, {}, ack_mode_, 0, nullptr, -1,
+      -1, local_});
+  send_frame(std::move(frame));
+}
+
+void NaradaClient::on_frame(const net::Datagram& datagram) {
+  if (!datagram.payload.has_value()) return;
+  const auto* maybe = std::any_cast<FramePtr>(&datagram.payload);
+  if (maybe == nullptr || !*maybe) return;
+  const FramePtr& frame = *maybe;
+
+  if (frame->kind == FrameKind::kDeliver && frame->topic == "$welcome") {
+    if (!ready_) {
+      ready_ = true;
+      if (on_ready_) on_ready_(true);
+      while (!backlog_.empty()) {
+        FramePtr queued = backlog_.front();
+        backlog_.pop_front();
+        send_frame(std::move(queued));
+      }
+    }
+    return;
+  }
+  if (frame->kind == FrameKind::kDeliver) {
+    handle_deliver(frame, host_.sim().now());
+  }
+}
+
+void NaradaClient::handle_deliver(const FramePtr& frame, SimTime arrived_at) {
+  if (!frame->message) return;
+  const std::int64_t bytes = frame->message->wire_size();
+  SimTime demand =
+      costs::kClientReceiveBase +
+      static_cast<SimTime>(static_cast<double>(bytes) *
+                           costs::kSerializePerByteNs);
+  SimTime extra = 0;
+  if (ack_mode_ == jms::AcknowledgeMode::kClientAcknowledge) {
+    // Session bookkeeping before the listener sees the message, plus the
+    // application's acknowledge() round.
+    demand += costs::kClientAckCost;
+    extra = costs::kClientAckExtraLatency;
+  }
+  auto self = shared_from_this();
+  host_.sim().schedule_after(extra, [self, frame, arrived_at, demand] {
+    self->host_.cpu().execute(demand, [self, frame, arrived_at] {
+      ++self->received_;
+      if (self->listener_) self->listener_(frame->message, arrived_at);
+    });
+  });
+}
+
+}  // namespace gridmon::narada

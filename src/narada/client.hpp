@@ -1,0 +1,122 @@
+// Narada client link: the JMS provider endpoint an application holds.
+//
+// Each simulated power generator owns one client (one "concurrent
+// connection" in the paper's terminology). A client connects to one broker
+// over TCP, NIO or UDP, then publishes and/or subscribes. Client-library
+// CPU costs (message assembly, serialisation, listener dispatch) are charged
+// to the host the client runs on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/host.hpp"
+#include "jms/destination.hpp"
+#include "narada/frames.hpp"
+#include "narada/transport.hpp"
+#include "net/stream.hpp"
+
+namespace gridmon::narada {
+
+class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
+ public:
+  /// ok=false means the broker refused the connection (its OOM wall).
+  using ReadyHandler = std::function<void(bool ok)>;
+  /// `arrived_at` is when the frame reached this host (before_receiving in
+  /// the paper's RTT decomposition); the callback itself runs at
+  /// after_receiving.
+  using DeliveryListener =
+      std::function<void(const jms::MessagePtr&, SimTime arrived_at)>;
+  /// `after_sending` is when the synchronous publish call returned.
+  using SendCallback = std::function<void(SimTime after_sending)>;
+
+  static std::shared_ptr<NaradaClient> create(cluster::Host& host,
+                                              net::Lan& lan,
+                                              net::StreamTransport& streams,
+                                              net::Endpoint broker,
+                                              net::Endpoint local,
+                                              TransportKind transport);
+  ~NaradaClient();
+
+  /// Establish the link. Frames issued before readiness are queued.
+  void connect(ReadyHandler on_ready);
+
+  /// Register a topic subscription with a JMS selector.
+  void subscribe(const std::string& topic, const std::string& selector,
+                 jms::AcknowledgeMode ack_mode, DeliveryListener listener);
+
+  /// Register as a PTP queue receiver: each message on the queue goes to
+  /// exactly one receiver (round-robin among competing receivers).
+  void receive_from_queue(const std::string& queue, const std::string& selector,
+                          jms::AcknowledgeMode ack_mode,
+                          DeliveryListener listener);
+
+  /// Publish to a PTP queue instead of a topic.
+  void publish_to_queue(jms::Message message, SendCallback on_sent = nullptr);
+
+  /// Publish to a topic. Headers (JMSMessageID, JMSTimestamp) are stamped
+  /// here, as the JMS provider does on send.
+  void publish(jms::Message message, SendCallback on_sent = nullptr);
+
+  /// CLIENT_ACKNOWLEDGE: acknowledge everything received so far.
+  void acknowledge();
+
+  /// Enable sender-side message aggregation (the RMM technique from the
+  /// paper's related work): up to `batch_size` publishes are combined into
+  /// one wire frame, flushed early after `max_delay`. batch_size <= 1
+  /// disables aggregation (the default).
+  void enable_aggregation(int batch_size,
+                          SimTime max_delay = units::milliseconds(100));
+
+  [[nodiscard]] bool ready() const { return ready_; }
+  [[nodiscard]] bool refused() const { return refused_; }
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] net::Endpoint local() const { return local_; }
+
+ private:
+  NaradaClient(cluster::Host& host, net::Lan& lan,
+               net::StreamTransport& streams, net::Endpoint broker,
+               net::Endpoint local, TransportKind transport);
+
+  void send_frame(FramePtr frame);
+  void on_frame(const net::Datagram& datagram);
+  void handle_deliver(const FramePtr& frame, SimTime arrived_at);
+
+  cluster::Host& host_;
+  net::Lan& lan_;
+  net::StreamTransport& streams_;
+  net::Endpoint broker_;
+  net::Endpoint local_;
+  TransportKind transport_;
+
+  net::StreamConnectionPtr conn_;
+  bool ready_ = false;
+  bool refused_ = false;
+  bool udp_bound_ = false;
+  ReadyHandler on_ready_;
+  std::deque<FramePtr> backlog_;
+
+  std::string subscribed_topic_;
+  jms::AcknowledgeMode ack_mode_ = jms::AcknowledgeMode::kAutoAcknowledge;
+  DeliveryListener listener_;
+
+  std::uint64_t next_message_seq_ = 1;
+  std::uint64_t published_ = 0;
+  std::uint64_t received_ = 0;
+
+  // Aggregation state.
+  int aggregation_size_ = 1;
+  SimTime aggregation_delay_ = 0;
+  std::vector<std::pair<jms::MessagePtr, SendCallback>> aggregation_buffer_;
+  sim::EventHandle aggregation_flush_;
+
+  void flush_aggregation();
+};
+
+}  // namespace gridmon::narada

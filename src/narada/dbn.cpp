@@ -1,0 +1,106 @@
+#include "narada/dbn.hpp"
+
+#include <stdexcept>
+
+namespace gridmon::narada {
+
+Dbn::Dbn(cluster::Hydra& hydra, DbnConfig config)
+    : hydra_(hydra),
+      config_(std::move(config)),
+      next_link_port_(static_cast<std::uint16_t>(config_.base_port + 1000)) {
+  if (config_.broker_hosts.empty()) {
+    throw std::invalid_argument("Dbn: needs at least one broker host");
+  }
+  for (std::size_t i = 0; i < config_.broker_hosts.size(); ++i) {
+    map_.add_broker();
+    BrokerConfig bc;
+    bc.endpoint = net::Endpoint{config_.broker_hosts[i], config_.base_port};
+    bc.transport = config_.transport;
+    bc.broker_id = static_cast<int>(i);
+    bc.subscription_aware_routing = config_.subscription_aware_routing;
+    brokers_.push_back(std::make_unique<Broker>(
+        hydra_.host(config_.broker_hosts[i]), hydra_.lan(), hydra_.streams(),
+        bc));
+    brokers_.back()->set_network_map(&map_);
+  }
+
+  const int n = broker_count();
+  switch (config_.topology) {
+    case DbnTopology::kFullMesh:
+      for (int a = 0; a < n; ++a) {
+        for (int b = a + 1; b < n; ++b) map_.add_link(a, b);
+      }
+      break;
+    case DbnTopology::kChain:
+      for (int a = 0; a + 1 < n; ++a) map_.add_link(a, a + 1);
+      break;
+    case DbnTopology::kStar:
+      for (int b = 1; b < n; ++b) map_.add_link(0, b);
+      break;
+  }
+}
+
+net::Endpoint Dbn::broker_endpoint(int i) const {
+  return net::Endpoint{config_.broker_hosts[static_cast<std::size_t>(i)],
+                       config_.base_port};
+}
+
+void Dbn::start() {
+  for (auto& broker : brokers_) broker->start();
+
+  // Establish one stream per map link; the initiator is the lower id.
+  const int n = broker_count();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (!map_.linked(a, b)) continue;
+      const net::Endpoint from{config_.broker_hosts[static_cast<std::size_t>(a)],
+                               next_link_port_++};
+      Broker* broker_a = brokers_[static_cast<std::size_t>(a)].get();
+      Broker* broker_b = brokers_[static_cast<std::size_t>(b)].get();
+      hydra_.streams().connect(
+          from, broker_endpoint(b),
+          [broker_a, broker_b, a, b](net::StreamConnectionPtr conn) {
+            if (!conn) return;
+            // NOTE: the acceptor side also sees this connection through its
+            // client-accept path; the peer registration below overrides the
+            // side-1 handler with the peer-frame handler.
+            broker_a->add_peer(b, conn, 0);
+            broker_b->add_peer(a, conn, 1);
+          });
+    }
+  }
+}
+
+net::Endpoint Dbn::assign_publisher_broker() {
+  const int n = broker_count();
+  if (n == 1) return broker_endpoint(0);
+  const int pubs = (n + 1) / 2;
+  const int pick = next_pub_++ % pubs;
+  return broker_endpoint(pick);
+}
+
+net::Endpoint Dbn::assign_subscriber_broker() {
+  const int n = broker_count();
+  if (n == 1) return broker_endpoint(0);
+  const int pubs = (n + 1) / 2;
+  const int subs = n - pubs;
+  const int pick = pubs + (next_sub_++ % subs);
+  return broker_endpoint(pick);
+}
+
+BrokerStats Dbn::total_stats() const {
+  BrokerStats total;
+  for (const auto& broker : brokers_) {
+    const BrokerStats& s = broker->stats();
+    total.connections_accepted += s.connections_accepted;
+    total.connections_refused += s.connections_refused;
+    total.events_received += s.events_received;
+    total.events_delivered += s.events_delivered;
+    total.events_forwarded += s.events_forwarded;
+    total.events_from_peers += s.events_from_peers;
+    total.udp_acks_sent += s.udp_acks_sent;
+  }
+  return total;
+}
+
+}  // namespace gridmon::narada

@@ -1,0 +1,61 @@
+// Wire frames exchanged on Narada client links and broker-broker links.
+// Carried as shared_ptr payloads through the simulated transports; the
+// fields below are what the real protocol would serialise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "jms/message.hpp"
+#include "net/address.hpp"
+
+namespace gridmon::narada {
+
+enum class FrameKind {
+  kSubscribe,
+  kUnsubscribe,
+  kPublish,
+  kClientAck,
+  kDeliver,
+  kForward,        ///< broker → broker event relay
+  kPeerSubscribe,  ///< broker → broker subscription advertisement
+};
+
+struct Frame {
+  FrameKind kind;
+  std::string topic;
+  std::string selector;             ///< kSubscribe only
+  jms::AcknowledgeMode ack_mode = jms::AcknowledgeMode::kAutoAcknowledge;
+  std::uint64_t subscription_id = 0;
+  jms::MessagePtr message;          ///< kPublish / kDeliver / kForward
+  int origin_broker = -1;           ///< kForward: broker the event entered at
+  int final_broker = -1;            ///< kForward: routed destination broker
+  net::Endpoint reply_to;           ///< kSubscribe over UDP: delivery address
+  /// JMS destination kind: topics fan out to every matching subscriber,
+  /// queues (PTP) deliver each message to exactly one receiver.
+  bool is_queue = false;
+  /// Sender-side message aggregation (the RMM technique from the paper's
+  /// related work, §IV): several publishes to the same destination carried
+  /// in one wire frame. Non-empty only for aggregated kPublish frames.
+  std::vector<jms::MessagePtr> batch;
+};
+
+using FramePtr = std::shared_ptr<const Frame>;
+
+/// Control-frame wire sizes (subscription management is rare; only data
+/// frames matter to the timing model, but sizes keep the accounting honest).
+constexpr std::int64_t kControlFrameBytes = 96;
+constexpr std::int64_t kFrameHeaderBytes = 32;
+
+[[nodiscard]] inline std::int64_t frame_wire_size(const Frame& frame) {
+  if (!frame.batch.empty()) {
+    std::int64_t total = kFrameHeaderBytes;
+    for (const auto& message : frame.batch) total += message->wire_size();
+    return total;
+  }
+  if (frame.message) return kFrameHeaderBytes + frame.message->wire_size();
+  return kControlFrameBytes;
+}
+
+}  // namespace gridmon::narada

@@ -1,0 +1,26 @@
+// Transport options for Narada client links (the paper's Table II axis).
+#pragma once
+
+#include <string>
+
+namespace gridmon::narada {
+
+enum class TransportKind {
+  kTcp,  ///< blocking TCP, thread per connection
+  kNio,  ///< non-blocking TCP, selector-based event loop
+  kUdp,  ///< JMS over UDP: lossy datagrams + Narada's per-packet ack cycle
+};
+
+inline std::string to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kTcp:
+      return "TCP";
+    case TransportKind::kNio:
+      return "NIO";
+    case TransportKind::kUdp:
+      return "UDP";
+  }
+  return "?";
+}
+
+}  // namespace gridmon::narada

@@ -1,0 +1,36 @@
+// Addressing for the simulated LAN.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gridmon::net {
+
+/// Index of a host on the simulated network fabric.
+using NodeId = std::int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+/// Transport endpoint: host + port, like a socket address.
+struct Endpoint {
+  NodeId node = kInvalidNode;
+  std::uint16_t port = 0;
+
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+inline std::string to_string(const Endpoint& ep) {
+  return "node" + std::to_string(ep.node) + ":" + std::to_string(ep.port);
+}
+
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& ep) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ep.node)) << 16) ^
+        ep.port);
+  }
+};
+
+}  // namespace gridmon::net

@@ -1,0 +1,94 @@
+#include "net/http.hpp"
+
+#include <utility>
+
+namespace gridmon::net {
+
+HttpServer::HttpServer(StreamTransport& transport, Endpoint endpoint,
+                       Handler handler)
+    : transport_(transport), endpoint_(endpoint), handler_(std::move(handler)) {
+  transport_.listen(endpoint_,
+                    [this](StreamConnectionPtr conn) { on_accept(std::move(conn)); });
+}
+
+HttpServer::~HttpServer() { transport_.close_listener(endpoint_); }
+
+void HttpServer::on_accept(StreamConnectionPtr conn) {
+  // Capture the connection by value in its own receive handler; the
+  // connection stays alive as long as either side can still deliver.
+  conn->set_handler(1, [this, conn](const Datagram& dg) {
+    const auto req = std::any_cast<std::shared_ptr<HttpRequest>>(dg.payload);
+    ++served_;
+    const std::uint64_t correlation = req->correlation_id;
+    handler_(*req, [conn, correlation](HttpResponse resp) {
+      if (!conn->open()) return;
+      resp.correlation_id = correlation;
+      const std::int64_t wire = resp.body_bytes + kHttpResponseOverhead;
+      conn->send(1, wire,
+                 std::make_shared<HttpResponse>(std::move(resp)));
+    });
+  });
+}
+
+HttpClient::HttpClient(StreamTransport& transport, Endpoint local)
+    : transport_(transport), local_(local), next_port_(local.port) {}
+
+void HttpClient::request(Endpoint server, HttpRequest req,
+                         ResponseHandler on_response) {
+  req.correlation_id = next_correlation_++;
+  auto& channel = channels_[server];
+  channel.to_send.emplace_back(std::move(req), std::move(on_response));
+
+  if (!channel.conn && !channel.connecting) {
+    channel.connecting = true;
+    const Endpoint from{local_.node, next_port_++};
+    transport_.connect(from, server, [this, server](StreamConnectionPtr conn) {
+      auto& ch = channels_[server];
+      ch.connecting = false;
+      if (!conn) {
+        // Connection refused: fail all queued requests with 503.
+        auto pending = std::move(ch.to_send);
+        ch.to_send.clear();
+        for (auto& [request, handler] : pending) {
+          HttpResponse resp;
+          resp.status = 503;
+          handler(resp);
+        }
+        return;
+      }
+      ch.conn = conn;
+      conn->set_handler(
+          0,
+          [this, server](const Datagram& dg) {
+            auto& ch = channels_[server];
+            const auto resp =
+                std::any_cast<std::shared_ptr<HttpResponse>>(dg.payload);
+            const auto it = ch.awaiting.find(resp->correlation_id);
+            if (it == ch.awaiting.end()) return;  // stray response
+            auto handler = std::move(it->second);
+            ch.awaiting.erase(it);
+            handler(*resp);
+          },
+          [this, server] {
+            // Server closed: drop the channel so the next request reconnects.
+            channels_.erase(server);
+          });
+      flush(server, ch);
+    });
+    return;
+  }
+  if (channel.conn) flush(server, channel);
+}
+
+void HttpClient::flush(Endpoint server, ServerChannel& channel) {
+  while (!channel.to_send.empty()) {
+    auto [req, handler] = std::move(channel.to_send.front());
+    channel.to_send.pop_front();
+    channel.awaiting.emplace(req.correlation_id, std::move(handler));
+    const std::int64_t wire = req.body_bytes + kHttpRequestOverhead;
+    channel.conn->send(0, wire, std::make_shared<HttpRequest>(std::move(req)));
+  }
+  (void)server;
+}
+
+}  // namespace gridmon::net

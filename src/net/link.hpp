@@ -1,0 +1,56 @@
+// Point-to-point queueing link.
+//
+// A link serialises frames at a fixed line rate and adds a fixed propagation
+// latency. Frames queue FIFO behind one another, which is what produces
+// bandwidth-bound delay in the model: the departure time of a frame is
+//   start = max(now, time the previous frame finished)
+//   end   = start + frame_bytes * 8 / rate
+// and the frame arrives at end + latency.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace gridmon::net {
+
+class Link {
+ public:
+  /// `bits_per_sec` is the raw line rate; `efficiency` scales it down for
+  /// protocol overheads the byte counts don't capture (inter-frame gaps,
+  /// acks). The paper's "100 Mbps" LAN measured 7–8 MB/s of goodput, i.e.
+  /// roughly 0.6 efficiency, which is the default used by the Hydra model.
+  Link(double bits_per_sec, SimTime latency, double efficiency = 1.0)
+      : effective_rate_(bits_per_sec * efficiency), latency_(latency) {}
+
+  /// Schedule a frame of `bytes` entering the link at time `now`.
+  /// Returns the *arrival* time at the far end.
+  SimTime transmit(SimTime now, std::int64_t bytes) {
+    const SimTime start = now > busy_until_ ? now : busy_until_;
+    const SimTime tx = units::transmission_time(bytes, effective_rate_);
+    busy_until_ = start + tx;
+    bytes_carried_ += bytes;
+    ++frames_carried_;
+    return busy_until_ + latency_;
+  }
+
+  /// Queueing delay a frame entering at `now` would see before starting
+  /// to serialise (0 when the link is idle).
+  [[nodiscard]] SimTime backlog(SimTime now) const {
+    return busy_until_ > now ? busy_until_ - now : 0;
+  }
+
+  [[nodiscard]] SimTime latency() const { return latency_; }
+  [[nodiscard]] double effective_rate() const { return effective_rate_; }
+  [[nodiscard]] std::int64_t bytes_carried() const { return bytes_carried_; }
+  [[nodiscard]] std::uint64_t frames_carried() const { return frames_carried_; }
+
+ private:
+  double effective_rate_;
+  SimTime latency_;
+  SimTime busy_until_ = 0;
+  std::int64_t bytes_carried_ = 0;
+  std::uint64_t frames_carried_ = 0;
+};
+
+}  // namespace gridmon::net

@@ -1,0 +1,33 @@
+// Wire units for the simulated LAN.
+//
+// Payloads are opaque to the network: middleware hands the fabric a
+// shared_ptr<const void>-style std::any and gets it back at the receiver.
+// Only the *size* participates in the timing model.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "net/address.hpp"
+#include "util/units.hpp"
+
+namespace gridmon::net {
+
+/// One application datagram / message as seen by a transport.
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;
+  std::int64_t bytes = 0;   ///< application payload size
+  std::uint64_t id = 0;     ///< fabric-assigned, unique per send
+  std::any payload;         ///< opaque application object
+  SimTime sent_at = 0;      ///< virtual time the send was issued
+};
+
+/// Ethernet + IP + UDP/TCP framing overhead added to every wire segment.
+constexpr std::int64_t kFrameOverheadBytes = 58;
+
+/// Maximum segment size for the stream transport (Ethernet MTU minus
+/// headers, as on the paper's 100 Mbps LAN).
+constexpr std::int64_t kMaxSegmentBytes = 1460;
+
+}  // namespace gridmon::net

@@ -1,0 +1,162 @@
+#include "rgma/api.hpp"
+
+#include "cluster/costs.hpp"
+#include "rgma/sql_parser.hpp"
+
+namespace gridmon::rgma {
+
+namespace costs = cluster::costs;
+
+PrimaryProducer::PrimaryProducer(cluster::Host& host, net::HttpClient& http,
+                                 net::Endpoint producer_service, int id,
+                                 std::string table, SimTime latest_retention,
+                                 SimTime history_retention)
+    : host_(host),
+      http_(http),
+      service_(producer_service),
+      id_(id),
+      table_(std::move(table)),
+      latest_retention_(latest_retention),
+      history_retention_(history_retention) {}
+
+void PrimaryProducer::declare(std::function<void(bool ok)> on_ready) {
+  net::HttpRequest req;
+  req.path = kProducerPath;
+  req.body_bytes = 128;
+  req.body = std::shared_ptr<const CreateProducerRequest>(
+      std::make_shared<CreateProducerRequest>(CreateProducerRequest{
+          id_, table_, latest_retention_, history_retention_}));
+  host_.cpu().execute(costs::kClientSendBase, [this, req = std::move(req),
+                                               on_ready = std::move(
+                                                   on_ready)]() mutable {
+    http_.request(service_, std::move(req),
+                  [this, on_ready = std::move(on_ready)](
+                      const net::HttpResponse& resp) {
+                    const bool ok = resp.status == 200;
+                    declared_ = ok;
+                    refused_ = !ok;
+                    if (on_ready) on_ready(ok);
+                  });
+  });
+}
+
+void PrimaryProducer::insert(
+    std::vector<SqlValue> row,
+    std::function<void(bool ok, SimTime after_sending)> on_done) {
+  // Render the INSERT text on the client CPU (the API wraps values into an
+  // SQL statement), then POST it.
+  std::string statement = sql::render_insert(table_, row);
+  const SimTime demand =
+      costs::kClientSendBase +
+      static_cast<SimTime>(static_cast<double>(statement.size()) *
+                           costs::kSerializePerByteNs);
+  host_.cpu().execute(demand, [this, statement = std::move(statement),
+                               on_done = std::move(on_done)]() mutable {
+    net::HttpRequest req;
+    req.path = kProducerPath;
+    req.body_bytes = static_cast<std::int64_t>(statement.size()) + 24;
+    req.body = std::shared_ptr<const InsertRequest>(
+        std::make_shared<InsertRequest>(InsertRequest{id_, std::move(statement)}));
+    http_.request(service_, std::move(req),
+                  [this, on_done = std::move(on_done)](
+                      const net::HttpResponse& resp) {
+                    ++inserts_;
+                    if (on_done) {
+                      on_done(resp.status == 200, host_.sim().now());
+                    }
+                  });
+  });
+}
+
+Consumer::Consumer(cluster::Host& host, net::HttpClient& http,
+                   net::Endpoint consumer_service, int id, std::string query)
+    : host_(host),
+      http_(http),
+      service_(consumer_service),
+      id_(id),
+      query_(std::move(query)) {}
+
+void Consumer::create(std::function<void(bool ok)> on_ready) {
+  net::HttpRequest req;
+  req.path = kConsumerPath;
+  req.body_bytes = static_cast<std::int64_t>(query_.size()) + 32;
+  req.body = std::shared_ptr<const CreateConsumerRequest>(
+      std::make_shared<CreateConsumerRequest>(
+          CreateConsumerRequest{id_, query_}));
+  host_.cpu().execute(costs::kClientSendBase, [this, req = std::move(req),
+                                               on_ready = std::move(
+                                                   on_ready)]() mutable {
+    http_.request(service_, std::move(req),
+                  [this, on_ready = std::move(on_ready)](
+                      const net::HttpResponse& resp) {
+                    const bool ok = resp.status == 200;
+                    created_ = ok;
+                    refused_ = !ok;
+                    if (on_ready) on_ready(ok);
+                  });
+  });
+}
+
+void Consumer::one_time(
+    QueryType type,
+    std::function<void(std::vector<Tuple>, SimTime)> on_tuples) {
+  const SimTime issued = host_.sim().now();
+  net::HttpRequest req;
+  req.path = kConsumerPath;
+  req.body_bytes = static_cast<std::int64_t>(query_.size()) + 32;
+  req.body = std::shared_ptr<const OneTimeQueryRequest>(
+      std::make_shared<OneTimeQueryRequest>(OneTimeQueryRequest{query_, type}));
+  http_.request(service_, std::move(req),
+                [this, issued, on_tuples = std::move(on_tuples)](
+                    const net::HttpResponse& resp) {
+                  std::vector<Tuple> tuples;
+                  if (const auto* payload =
+                          std::any_cast<std::shared_ptr<const PollResponse>>(
+                              &resp.body)) {
+                    tuples = (*payload)->tuples;
+                  }
+                  const SimTime demand =
+                      costs::kClientReceiveBase +
+                      static_cast<SimTime>(
+                          static_cast<double>(resp.body_bytes) *
+                          costs::kSerializePerByteNs);
+                  host_.cpu().execute(
+                      demand, [issued, tuples = std::move(tuples),
+                               on_tuples = std::move(on_tuples)]() mutable {
+                        on_tuples(std::move(tuples), issued);
+                      });
+                });
+}
+
+void Consumer::poll(std::function<void(std::vector<Tuple>, SimTime)>
+                        on_tuples) {
+  const SimTime issued = host_.sim().now();
+  net::HttpRequest req;
+  req.path = kConsumerPath;
+  req.body_bytes = 24;
+  req.body = std::shared_ptr<const PollRequest>(
+      std::make_shared<PollRequest>(PollRequest{id_}));
+  http_.request(service_, std::move(req),
+                [this, issued, on_tuples = std::move(on_tuples)](
+                    const net::HttpResponse& resp) {
+                  std::vector<Tuple> tuples;
+                  if (const auto* payload =
+                          std::any_cast<std::shared_ptr<const PollResponse>>(
+                              &resp.body)) {
+                    tuples = (*payload)->tuples;
+                  }
+                  // Deserialising the result set costs client CPU.
+                  const SimTime demand =
+                      costs::kClientReceiveBase +
+                      static_cast<SimTime>(
+                          static_cast<double>(resp.body_bytes) *
+                          costs::kSerializePerByteNs);
+                  host_.cpu().execute(
+                      demand, [issued, tuples = std::move(tuples),
+                               on_tuples = std::move(on_tuples)]() mutable {
+                        on_tuples(std::move(tuples), issued);
+                      });
+                });
+}
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,102 @@
+// Client-side R-GMA API objects (what application code holds).
+//
+// A PrimaryProducer wraps the insert path: it renders rows into SQL INSERT
+// text on the client CPU and POSTs them to its producer service. A Consumer
+// wraps a continuous query plus the polling loop the paper's subscriber
+// used (the Consumer API could not notify, so the subscriber polled every
+// 100 ms).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/host.hpp"
+#include "net/http.hpp"
+#include "rgma/wire.hpp"
+
+namespace gridmon::rgma {
+
+class PrimaryProducer {
+ public:
+  /// `http` must outlive the producer and belong to `host`'s node.
+  PrimaryProducer(cluster::Host& host, net::HttpClient& http,
+                  net::Endpoint producer_service, int id, std::string table,
+                  SimTime latest_retention = units::seconds(30),
+                  SimTime history_retention = units::seconds(60));
+
+  /// Declare the producer (allocates its server-side thread). ok=false
+  /// means the service refused it (out of memory).
+  void declare(std::function<void(bool ok)> on_ready);
+
+  /// Insert one row. `on_done(ok, after_sending)` fires when the HTTP
+  /// response arrives — `after_sending` is the paper's PRT endpoint.
+  void insert(std::vector<SqlValue> row,
+              std::function<void(bool ok, SimTime after_sending)> on_done = {});
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] bool declared() const { return declared_; }
+  [[nodiscard]] bool refused() const { return refused_; }
+  [[nodiscard]] std::uint64_t inserts() const { return inserts_; }
+
+ private:
+  cluster::Host& host_;
+  net::HttpClient& http_;
+  net::Endpoint service_;
+  int id_;
+  std::string table_;
+  SimTime latest_retention_;
+  SimTime history_retention_;
+  bool declared_ = false;
+  bool refused_ = false;
+  std::uint64_t inserts_ = 0;
+};
+
+class Consumer {
+ public:
+  Consumer(cluster::Host& host, net::HttpClient& http,
+           net::Endpoint consumer_service, int id, std::string query);
+
+  /// Create the continuous query on the consumer service.
+  void create(std::function<void(bool ok)> on_ready);
+
+  /// One poll round trip. `before_receiving` is when the poll was issued
+  /// (the paper's 100 ms polling quantises SRT to this granularity).
+  void poll(std::function<void(std::vector<Tuple> tuples,
+                               SimTime before_receiving)>
+                on_tuples);
+
+  /// One-time *latest* query: the current value per primary key across all
+  /// producers of the table, within the latest retention period.
+  void query_latest(
+      std::function<void(std::vector<Tuple>, SimTime issued_at)> on_tuples) {
+    one_time(QueryType::kLatest, std::move(on_tuples));
+  }
+
+  /// One-time *history* query: everything within the history retention
+  /// period across all producers of the table.
+  void query_history(
+      std::function<void(std::vector<Tuple>, SimTime issued_at)> on_tuples) {
+    one_time(QueryType::kHistory, std::move(on_tuples));
+  }
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] bool created() const { return created_; }
+  [[nodiscard]] bool refused() const { return refused_; }
+
+ private:
+  void one_time(QueryType type,
+                std::function<void(std::vector<Tuple>, SimTime)> on_tuples);
+
+  cluster::Host& host_;
+  net::HttpClient& http_;
+  net::Endpoint service_;
+  int id_;
+  std::string query_;
+  bool created_ = false;
+  bool refused_ = false;
+};
+
+}  // namespace gridmon::rgma

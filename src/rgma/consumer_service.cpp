@@ -1,0 +1,347 @@
+#include "rgma/consumer_service.hpp"
+
+#include "rgma/sql_eval.hpp"
+#include "rgma/sql_parser.hpp"
+#include "util/log.hpp"
+
+namespace gridmon::rgma {
+
+namespace costs = cluster::costs;
+
+ConsumerService::ConsumerService(cluster::Host& host,
+                                 net::StreamTransport& streams,
+                                 net::Endpoint endpoint, net::Endpoint registry)
+    : servlet_(host),
+      endpoint_(endpoint),
+      registry_(registry),
+      server_(streams, endpoint,
+              [this](const net::HttpRequest& req,
+                     net::HttpServer::Responder respond) {
+                handle(req, std::move(respond));
+              }),
+      client_(streams, net::Endpoint{endpoint.node,
+                                     static_cast<std::uint16_t>(endpoint.port +
+                                                                3000)}) {
+  arm_cycle();
+}
+
+void ConsumerService::add_table(const TableDef& table) {
+  tables_.emplace(table.name(), table);
+}
+
+SimTime ConsumerService::cycle_length() const {
+  return costs::kConsumerCycleBase +
+         costs::kConsumerCyclePerProducer *
+             static_cast<SimTime>(known_producers_.size());
+}
+
+void ConsumerService::arm_cycle() {
+  cycle_event_ = servlet_.host().sim().schedule_after(
+      cycle_length(), [this] { evaluation_cycle(); });
+}
+
+void ConsumerService::handle(const net::HttpRequest& request,
+                             net::HttpServer::Responder respond) {
+  // Stream batches are the hot path: enqueue for the evaluation cycle.
+  if (const auto* batch = std::any_cast<std::shared_ptr<const StreamBatch>>(
+          &request.body)) {
+    const auto payload = *batch;
+    servlet_.service(
+        units::microseconds(120),
+        [this, payload, respond = std::move(respond)] {
+          handle_batch(*payload);
+          net::HttpResponse resp;
+          resp.body_bytes = 16;
+          respond(std::move(resp));
+        },
+        payload->wire_size());
+    return;
+  }
+  if (const auto* attach =
+          std::any_cast<std::shared_ptr<const AttachProducerNotice>>(
+              &request.body)) {
+    const auto notice = *attach;
+    servlet_.service(units::microseconds(150), [this, notice,
+                                                respond = std::move(respond)] {
+      known_producers_.insert(notice->producer_id);
+      net::HttpResponse resp;
+      resp.body_bytes = 16;
+      respond(std::move(resp));
+    });
+    return;
+  }
+  if (const auto* poll = std::any_cast<std::shared_ptr<const PollRequest>>(
+          &request.body)) {
+    const auto req = *poll;
+    servlet_.service(units::microseconds(180), [this, req,
+                                                respond = std::move(respond)] {
+      net::HttpResponse resp;
+      handle_poll(*req, resp);
+      respond(std::move(resp));
+    });
+    return;
+  }
+  if (const auto* once =
+          std::any_cast<std::shared_ptr<const OneTimeQueryRequest>>(
+              &request.body)) {
+    const auto req = *once;
+    servlet_.service(units::microseconds(500), [this, req,
+                                                respond = std::move(respond)] {
+      handle_one_time(*req, std::move(respond));
+    });
+    return;
+  }
+  if (const auto* create =
+          std::any_cast<std::shared_ptr<const CreateConsumerRequest>>(
+              &request.body)) {
+    const auto req = *create;
+    servlet_.service(units::microseconds(400), [this, req,
+                                                respond = std::move(respond)] {
+      net::HttpResponse resp;
+      auto status = std::make_shared<StatusResponse>();
+      handle_create(*req, *status);
+      if (!status->ok) resp.status = 400;
+      resp.body_bytes = 32;
+      resp.body = std::shared_ptr<const StatusResponse>(status);
+      respond(std::move(resp));
+    });
+    return;
+  }
+  net::HttpResponse resp;
+  resp.status = 400;
+  respond(std::move(resp));
+}
+
+void ConsumerService::handle_create(const CreateConsumerRequest& req,
+                                    StatusResponse& status) {
+  try {
+    const auto statement = sql::parse_statement(req.query);
+    const auto* select = std::get_if<sql::Select>(&statement);
+    if (select == nullptr) throw std::runtime_error("expected SELECT");
+    if (!tables_.contains(select->table)) {
+      throw std::runtime_error("unknown table: " + select->table);
+    }
+    if (!servlet_.host().spawn_thread(costs::kRgmaConnectionBytes -
+                                      costs::kThreadStackBytes)) {
+      ++stats_.consumers_refused;
+      throw std::runtime_error("out of memory creating consumer thread");
+    }
+    ConsumerState state;
+    state.id = req.consumer_id;
+    state.table = select->table;
+    state.predicate = select->where;
+    state.columns = select->columns;
+    consumers_.emplace(req.consumer_id, std::move(state));
+    ++stats_.consumers_created;
+
+    net::HttpRequest reg;
+    reg.path = kRegistryPath;
+    reg.body_bytes = 128;
+    reg.body = std::shared_ptr<const RegisterConsumerRequest>(
+        std::make_shared<RegisterConsumerRequest>(RegisterConsumerRequest{
+            req.consumer_id, req.query, endpoint_}));
+    client_.request(registry_, std::move(reg),
+                    [](const net::HttpResponse&) {});
+  } catch (const std::exception& e) {
+    status.ok = false;
+    status.error = e.what();
+  }
+}
+
+void ConsumerService::handle_batch(const StreamBatch& batch) {
+  ++stats_.batches_received;
+  known_producers_.insert(batch.producer_id);
+
+  if (legacy_stream_api_) {
+    // Old StreamProducer/Archiver path: tuples land in result buffers as
+    // they arrive, with only per-tuple matching cost — no evaluation-cycle
+    // wait. This is why related work [11] saw far better latency from the
+    // old API than the paper measured on the new one.
+    const auto table_it = tables_.find(batch.table);
+    if (table_it == tables_.end()) return;
+    for (const auto& tuple : batch.tuples) {
+      servlet_.charge(costs::kConsumerTupleCost);
+      bool matched = false;
+      for (auto& [id, consumer] : consumers_) {
+        if (consumer.table != batch.table) continue;
+        if (!sql::predicate_selects(consumer.predicate, table_it->second,
+                                    tuple.values)) {
+          continue;
+        }
+        consumer.buffer.push_back(tuple);
+        const std::int64_t bytes = tuple.wire_size();
+        consumer.buffered_bytes += bytes;
+        (void)servlet_.host().heap().allocate(bytes);
+        matched = true;
+      }
+      if (matched) {
+        ++stats_.tuples_matched;
+      } else {
+        ++stats_.tuples_discarded;
+      }
+    }
+    return;
+  }
+
+  queued_bytes_ += batch.wire_size();
+  (void)servlet_.host().heap().allocate(batch.wire_size());
+  incoming_.push_back(batch);
+}
+
+void ConsumerService::evaluation_cycle() {
+  // Sweep cost: plan walk plus per-tuple matching, charged to the CPU. The
+  // next cycle is armed from *completion*, so an overloaded host lengthens
+  // the effective cycle — queueing shows up exactly where the paper saw it.
+  std::size_t tuple_count = 0;
+  for (const auto& batch : incoming_) tuple_count += batch.tuples.size();
+  const SimTime sweep =
+      units::microseconds(120) * static_cast<SimTime>(known_producers_.size() + 1) +
+      costs::kConsumerTupleCost * static_cast<SimTime>(tuple_count);
+
+  // Move the queued work out before yielding to the CPU model.
+  std::deque<StreamBatch> work;
+  work.swap(incoming_);
+  servlet_.host().heap().release(queued_bytes_);
+  queued_bytes_ = 0;
+
+  const SimTime demand =
+      servlet_.host().loaded(sweep, costs::kServletThreadLoadFactor);
+  servlet_.host().cpu().execute(demand, [this, work = std::move(work)] {
+    for (const auto& batch : work) {
+      const auto table_it = tables_.find(batch.table);
+      if (table_it == tables_.end()) continue;
+      const TableDef& table = table_it->second;
+      for (const auto& tuple : batch.tuples) {
+        bool matched = false;
+        for (auto& [id, consumer] : consumers_) {
+          if (consumer.table != batch.table) continue;
+          if (!sql::predicate_selects(consumer.predicate, table,
+                                      tuple.values)) {
+            continue;
+          }
+          consumer.buffer.push_back(tuple);
+          const std::int64_t bytes = tuple.wire_size();
+          consumer.buffered_bytes += bytes;
+          (void)servlet_.host().heap().allocate(bytes);
+          matched = true;
+        }
+        if (matched) {
+          ++stats_.tuples_matched;
+        } else {
+          ++stats_.tuples_discarded;
+        }
+      }
+    }
+    arm_cycle();
+  });
+}
+
+void ConsumerService::handle_one_time(const OneTimeQueryRequest& req,
+                                      net::HttpServer::Responder respond) {
+  // The mediator plans the one-time query: look up the table's producers
+  // in the registry, query each producer's store, merge the result sets.
+  sql::Select select;
+  try {
+    auto statement = sql::parse_statement(req.query);
+    auto* parsed = std::get_if<sql::Select>(&statement);
+    if (parsed == nullptr) throw std::runtime_error("expected SELECT");
+    select = std::move(*parsed);
+  } catch (const std::exception&) {
+    net::HttpResponse resp;
+    resp.status = 400;
+    respond(std::move(resp));
+    return;
+  }
+
+  // Recover the WHERE text for push-down (the query was just validated).
+  std::string predicate_text;
+  auto pos = req.query.find("WHERE");
+  if (pos == std::string::npos) pos = req.query.find("where");
+  if (pos != std::string::npos) predicate_text = req.query.substr(pos + 5);
+
+  net::HttpRequest lookup;
+  lookup.path = kRegistryPath;
+  lookup.body_bytes = 48;
+  lookup.body = std::shared_ptr<const LookupProducersRequest>(
+      std::make_shared<LookupProducersRequest>(
+          LookupProducersRequest{select.table}));
+  client_.request(registry_, std::move(lookup), [this, req, predicate_text,
+                                                 respond = std::move(respond)](
+                                                    const net::HttpResponse&
+                                                        lookup_resp) mutable {
+    std::vector<std::pair<int, net::Endpoint>> producers;
+    if (const auto* list =
+            std::any_cast<std::shared_ptr<const LookupProducersResponse>>(
+                &lookup_resp.body)) {
+      producers = (*list)->producers;
+    }
+    if (producers.empty()) {
+      net::HttpResponse resp;
+      resp.body_bytes = 16;
+      resp.body = std::shared_ptr<const PollResponse>(
+          std::make_shared<PollResponse>());
+      respond(std::move(resp));
+      return;
+    }
+    // Fan out to every producer; merge when all answered.
+    struct Gather {
+      std::size_t awaiting;
+      std::shared_ptr<PollResponse> merged = std::make_shared<PollResponse>();
+      net::HttpServer::Responder respond;
+    };
+    auto gather = std::make_shared<Gather>();
+    gather->awaiting = producers.size();
+    gather->respond = std::move(respond);
+    for (const auto& [producer_id, service] : producers) {
+      net::HttpRequest store_query;
+      store_query.path = kProducerPath;
+      store_query.body_bytes =
+          48 + static_cast<std::int64_t>(predicate_text.size());
+      store_query.body = std::shared_ptr<const StoreQueryRequest>(
+          std::make_shared<StoreQueryRequest>(
+              StoreQueryRequest{producer_id, req.type, predicate_text}));
+      client_.request(
+          service, std::move(store_query),
+          [this, gather](const net::HttpResponse& store_resp) {
+            if (const auto* tuples = std::any_cast<
+                    std::shared_ptr<const StoreQueryResponse>>(
+                    &store_resp.body)) {
+              for (const auto& tuple : (*tuples)->tuples) {
+                servlet_.charge(units::microseconds(25));
+                gather->merged->tuples.push_back(tuple);
+              }
+            }
+            if (--gather->awaiting == 0) {
+              std::int64_t bytes = 16;
+              for (const auto& t : gather->merged->tuples) {
+                bytes += t.wire_size();
+              }
+              net::HttpResponse resp;
+              resp.body_bytes = bytes;
+              resp.body =
+                  std::shared_ptr<const PollResponse>(gather->merged);
+              gather->respond(std::move(resp));
+            }
+          });
+    }
+  });
+}
+
+void ConsumerService::handle_poll(const PollRequest& req,
+                                  net::HttpResponse& resp) {
+  ++stats_.polls_served;
+  const auto it = consumers_.find(req.consumer_id);
+  auto payload = std::make_shared<PollResponse>();
+  if (it != consumers_.end()) {
+    payload->tuples = std::move(it->second.buffer);
+    it->second.buffer.clear();
+    servlet_.host().heap().release(it->second.buffered_bytes);
+    it->second.buffered_bytes = 0;
+  }
+  std::int64_t bytes = 16;
+  for (const auto& tuple : payload->tuples) bytes += tuple.wire_size();
+  resp.body_bytes = bytes;
+  resp.body = std::shared_ptr<const PollResponse>(payload);
+}
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,95 @@
+// Consumer service.
+//
+// Runs consumers' continuous queries: producer services stream tuple
+// batches here; a periodic evaluation cycle matches them against each
+// consumer's SELECT (real predicate evaluation) and appends hits to the
+// consumer's result buffer; subscriber programs poll that buffer over HTTP.
+//
+// The evaluation cycle length grows with the number of producers feeding
+// the service (plan size), which is the dominant share of the paper's
+// "very long Process Time" and the source of Fig 11's RTT slope.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+#include "rgma/servlet.hpp"
+#include "rgma/sql_ast.hpp"
+#include "rgma/wire.hpp"
+#include "sim/simulation.hpp"
+
+namespace gridmon::rgma {
+
+struct ConsumerServiceStats {
+  std::uint64_t consumers_created = 0;
+  std::uint64_t consumers_refused = 0;
+  std::uint64_t batches_received = 0;
+  std::uint64_t tuples_matched = 0;
+  std::uint64_t tuples_discarded = 0;
+  std::uint64_t polls_served = 0;
+};
+
+class ConsumerService {
+ public:
+  ConsumerService(cluster::Host& host, net::StreamTransport& streams,
+                  net::Endpoint endpoint, net::Endpoint registry);
+
+  void add_table(const TableDef& table);
+
+  /// Serve over HTTPS (TLS costs on every request).
+  void set_secure(bool secure) { servlet_.set_secure(secure); }
+
+  /// Legacy StreamProducer/Archiver delivery: incoming batches bypass the
+  /// evaluation cycle and append directly to consumer buffers.
+  void set_legacy_stream_api(bool legacy) { legacy_stream_api_ = legacy; }
+
+  [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }
+  [[nodiscard]] const ConsumerServiceStats& stats() const { return stats_; }
+  [[nodiscard]] int attached_producers() const {
+    return static_cast<int>(known_producers_.size());
+  }
+  /// Current continuous-query evaluation cycle length.
+  [[nodiscard]] SimTime cycle_length() const;
+
+ private:
+  struct ConsumerState {
+    int id = 0;
+    std::string table;
+    sql::ExprPtr predicate;
+    std::vector<std::string> columns;  ///< empty = *
+    std::vector<Tuple> buffer;
+    std::int64_t buffered_bytes = 0;
+  };
+
+  void handle(const net::HttpRequest& request, net::HttpServer::Responder respond);
+  void handle_create(const CreateConsumerRequest& req, StatusResponse& status);
+  void handle_batch(const StreamBatch& batch);
+  void handle_poll(const PollRequest& req, net::HttpResponse& resp);
+  void handle_one_time(const OneTimeQueryRequest& req,
+                       net::HttpServer::Responder respond);
+  void evaluation_cycle();
+  void arm_cycle();
+
+  ServletHost servlet_;
+  net::Endpoint endpoint_;
+  net::Endpoint registry_;
+  net::HttpServer server_;
+  net::HttpClient client_;
+  sim::EventHandle cycle_event_;
+
+  std::map<std::string, TableDef> tables_;
+  std::map<int, ConsumerState> consumers_;
+  std::set<int> known_producers_;
+  std::deque<StreamBatch> incoming_;
+  std::int64_t queued_bytes_ = 0;
+  bool legacy_stream_api_ = false;
+
+  ConsumerServiceStats stats_;
+};
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,289 @@
+#include "rgma/producer_service.hpp"
+
+#include "rgma/sql_eval.hpp"
+#include "rgma/sql_parser.hpp"
+#include "util/log.hpp"
+
+namespace gridmon::rgma {
+
+namespace costs = cluster::costs;
+
+ProducerService::ProducerService(cluster::Host& host,
+                                 net::StreamTransport& streams,
+                                 net::Endpoint endpoint, net::Endpoint registry)
+    : servlet_(host),
+      endpoint_(endpoint),
+      registry_(registry),
+      server_(streams, endpoint,
+              [this](const net::HttpRequest& req,
+                     net::HttpServer::Responder respond) {
+                handle(req, std::move(respond));
+              }),
+      client_(streams, net::Endpoint{endpoint.node,
+                                     static_cast<std::uint16_t>(endpoint.port +
+                                                                3000)}) {
+  stream_timer_ = sim::PeriodicTimer(
+      host.sim(), host.sim().now() + costs::kProducerStreamPeriod,
+      costs::kProducerStreamPeriod, [this] { stream_cycle(); });
+  maintenance_timer_ = sim::PeriodicTimer(
+      host.sim(), host.sim().now() + costs::kStoreMaintenancePeriod,
+      costs::kStoreMaintenancePeriod, [this] {
+        // Storage housekeeping: a stop-the-world sweep over every retained
+        // tuple on this server. With hundreds of producers each holding a
+        // minute of history this runs to seconds — the latency spikes in
+        // the paper's 95–100 % percentile plots.
+        std::size_t retained = 0;
+        for (const auto& [id, producer] : producers_) {
+          retained += producer.store.size();
+        }
+        servlet_.host().cpu().stall(costs::kStoreMaintenancePerTuple *
+                                    static_cast<SimTime>(retained));
+      });
+}
+
+void ProducerService::add_table(const TableDef& table) {
+  tables_.emplace(table.name(), table);
+}
+
+void ProducerService::enable_registration_renewal(SimTime period) {
+  renewal_timer_.cancel();
+  if (period <= 0) return;
+  auto& sim = servlet_.host().sim();
+  renewal_timer_ = sim::PeriodicTimer(sim, sim.now() + period, period, [this] {
+    if (producers_.empty()) return;
+    auto renewal = std::make_shared<RenewRegistrationsRequest>();
+    renewal->producer_service = endpoint_;
+    renewal->producer_ids.reserve(producers_.size());
+    for (const auto& [id, producer] : producers_) {
+      renewal->producer_ids.push_back(id);
+    }
+    servlet_.charge(units::microseconds(120));
+    net::HttpRequest req;
+    req.path = kRegistryPath;
+    req.body_bytes =
+        32 + static_cast<std::int64_t>(renewal->producer_ids.size()) * 4;
+    req.body = std::shared_ptr<const RenewRegistrationsRequest>(renewal);
+    client_.request(registry_, std::move(req), [](const net::HttpResponse&) {});
+  });
+}
+
+void ProducerService::handle(const net::HttpRequest& request,
+                             net::HttpServer::Responder respond) {
+  // Attach notices come from the registry's mediator, not a client thread.
+  if (const auto* attach =
+          std::any_cast<std::shared_ptr<const AttachConsumerNotice>>(
+              &request.body)) {
+    const auto notice = *attach;
+    servlet_.service(units::microseconds(200), [this, notice,
+                                                respond = std::move(respond)] {
+      handle_attach(*notice);
+      net::HttpResponse resp;
+      resp.body_bytes = 16;
+      respond(std::move(resp));
+    });
+    return;
+  }
+
+  // One-time queries against a producer's store (latest/history).
+  if (const auto* query =
+          std::any_cast<std::shared_ptr<const StoreQueryRequest>>(
+              &request.body)) {
+    const auto req = *query;
+    servlet_.service(units::microseconds(400), [this, req,
+                                                respond = std::move(respond)] {
+      auto payload = std::make_shared<StoreQueryResponse>();
+      const auto it = producers_.find(req->producer_id);
+      if (it != producers_.end()) {
+        const SimTime now = servlet_.host().sim().now();
+        std::vector<Tuple> candidates =
+            req->type == QueryType::kHistory ? it->second.store.history(now)
+                                             : it->second.store.latest(now);
+        const auto table_it = tables_.find(it->second.table);
+        sql::ExprPtr predicate;
+        if (!req->predicate.empty()) {
+          predicate = sql::parse_predicate(req->predicate);
+        }
+        for (auto& tuple : candidates) {
+          servlet_.charge(units::microseconds(30));
+          if (table_it == tables_.end() ||
+              sql::predicate_selects(predicate, table_it->second,
+                                     tuple.values)) {
+            payload->tuples.push_back(std::move(tuple));
+          }
+        }
+      }
+      net::HttpResponse resp;
+      resp.body_bytes = payload->wire_size();
+      resp.body = std::shared_ptr<const StoreQueryResponse>(payload);
+      respond(std::move(resp));
+    });
+    return;
+  }
+
+  // Inserts dominate; their extra CPU covers SQL parsing + storage.
+  SimTime extra = units::microseconds(150);
+  if (std::any_cast<std::shared_ptr<const InsertRequest>>(&request.body)) {
+    extra = costs::kInsertProcessingCost;
+  }
+  servlet_.service(extra, [this, request, respond = std::move(respond)] {
+    net::HttpResponse resp;
+    auto status = std::make_shared<StatusResponse>();
+    if (const auto* create =
+            std::any_cast<std::shared_ptr<const CreateProducerRequest>>(
+                &request.body)) {
+      handle_create(**create, *status);
+    } else if (const auto* insert =
+                   std::any_cast<std::shared_ptr<const InsertRequest>>(
+                       &request.body)) {
+      handle_insert(**insert, *status);
+    } else {
+      status->ok = false;
+      status->error = "unknown producer request";
+    }
+    if (!status->ok) resp.status = 400;
+    resp.body_bytes = 32;
+    resp.body = std::shared_ptr<const StatusResponse>(status);
+    respond(std::move(resp));
+  });
+}
+
+void ProducerService::handle_create(const CreateProducerRequest& req,
+                                    StatusResponse& status) {
+  if (!tables_.contains(req.table)) {
+    status.ok = false;
+    status.error = "unknown table: " + req.table;
+    return;
+  }
+  // One Tomcat worker thread + servlet/JDBC state per producer connection.
+  const std::int64_t extra =
+      costs::kRgmaConnectionBytes - costs::kThreadStackBytes;
+  if (!servlet_.host().spawn_thread(extra)) {
+    ++stats_.producers_refused;
+    status.ok = false;
+    status.error = "out of memory creating producer thread";
+    GRIDMON_WARN("rgma.producer")
+        << "refused producer " << req.producer_id
+        << " (OOM), producers=" << producers_.size();
+    return;
+  }
+  ProducerState state;
+  state.id = req.producer_id;
+  state.table = req.table;
+  StorageConfig storage;
+  storage.latest_retention = req.latest_retention;
+  storage.history_retention = req.history_retention;
+  state.store = TupleStore(storage);
+  producers_.emplace(req.producer_id, std::move(state));
+  ++stats_.producers_created;
+
+  // Register with the registry so the mediator can attach consumers.
+  net::HttpRequest reg;
+  reg.path = kRegistryPath;
+  reg.body_bytes = 96;
+  reg.body = std::shared_ptr<const RegisterProducerRequest>(
+      std::make_shared<RegisterProducerRequest>(RegisterProducerRequest{
+          req.producer_id, req.table, endpoint_}));
+  client_.request(registry_, std::move(reg), [](const net::HttpResponse&) {});
+}
+
+void ProducerService::handle_insert(const InsertRequest& req,
+                                    StatusResponse& status) {
+  const auto it = producers_.find(req.producer_id);
+  if (it == producers_.end()) {
+    ++stats_.inserts_failed;
+    status.ok = false;
+    status.error = "unknown producer";
+    return;
+  }
+  ProducerState& producer = it->second;
+  try {
+    const auto statement = sql::parse_statement(req.statement);
+    const auto* insert = std::get_if<sql::Insert>(&statement);
+    if (insert == nullptr) throw std::runtime_error("expected INSERT");
+    if (insert->table != producer.table) {
+      throw std::runtime_error("producer is declared for table " +
+                               producer.table);
+    }
+    const TableDef& table = tables_.at(producer.table);
+    if (const auto error = table.validate(insert->values)) {
+      throw std::runtime_error(*error);
+    }
+    Tuple tuple;
+    tuple.values = insert->values;
+    producer.store.insert(std::move(tuple), servlet_.host().sim().now());
+    producer.stored_bytes += costs::kTupleBytes;
+    (void)servlet_.host().heap().allocate(costs::kTupleBytes);
+    ++stats_.inserts_ok;
+  } catch (const std::exception& e) {
+    ++stats_.inserts_failed;
+    status.ok = false;
+    status.error = e.what();
+  }
+}
+
+void ProducerService::handle_attach(const AttachConsumerNotice& notice) {
+  const auto it = producers_.find(notice.producer_id);
+  if (it == producers_.end()) return;
+  ProducerState& producer = it->second;
+  Attachment attachment;
+  attachment.consumer_id = notice.consumer_id;
+  attachment.consumer_service = notice.consumer_service;
+  if (!notice.predicate.empty()) {
+    attachment.predicate = sql::parse_predicate(notice.predicate);
+  }
+  // Continuous queries see only tuples inserted from now on; anything
+  // already stored predates the plan and is lost to the stream (the
+  // warm-up data-loss mechanism the paper measured at 0.17 %).
+  attachment.cursor = producer.store.head_sequence() - 1;
+  producer.consumers.push_back(std::move(attachment));
+}
+
+void ProducerService::stream_cycle() {
+  const SimTime now = servlet_.host().sim().now();
+  for (auto& [id, producer] : producers_) {
+    // Retention pruning releases tuple heap.
+    const std::size_t before = producer.store.size();
+    producer.store.prune(now);
+    const std::size_t pruned = before - producer.store.size();
+    if (pruned > 0) {
+      const auto freed =
+          static_cast<std::int64_t>(pruned) * costs::kTupleBytes;
+      producer.stored_bytes -= freed;
+      servlet_.host().heap().release(freed);
+    }
+
+    if (producer.consumers.empty()) continue;
+    const TableDef& table = tables_.at(producer.table);
+    for (auto& attachment : producer.consumers) {
+      std::vector<Tuple> fresh = producer.store.since(attachment.cursor);
+      if (fresh.empty()) continue;
+      // Predicate push-down: filter producer-side before shipping.
+      std::vector<Tuple> shipped;
+      shipped.reserve(fresh.size());
+      for (auto& tuple : fresh) {
+        servlet_.charge(units::microseconds(40));
+        if (sql::predicate_selects(attachment.predicate, table, tuple.values)) {
+          shipped.push_back(std::move(tuple));
+        }
+      }
+      if (shipped.empty()) continue;
+      stats_.tuples_streamed += shipped.size();
+      ++stats_.batches_sent;
+
+      auto batch = std::make_shared<StreamBatch>();
+      batch->producer_id = id;
+      batch->table = producer.table;
+      batch->tuples = std::move(shipped);
+
+      net::HttpRequest req;
+      req.path = kStreamPath;
+      req.body_bytes = batch->wire_size();
+      req.body = std::shared_ptr<const StreamBatch>(batch);
+      servlet_.charge(units::microseconds(250));
+      client_.request(attachment.consumer_service, std::move(req),
+                      [](const net::HttpResponse&) {});
+    }
+  }
+}
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,91 @@
+// Primary Producer service.
+//
+// Hosts the producer side of the virtual database on one node: it owns one
+// TupleStore per declared producer, parses incoming SQL INSERT statements
+// (real parsing, charged to the host CPU), applies retention, and streams
+// newly inserted tuples to attached consumer services on a periodic cycle —
+// with producer-side predicate push-down, R-GMA's content-based filtering.
+//
+// Resource semantics: each declared producer costs a Tomcat worker thread
+// plus servlet/JDBC state (~1.3 MiB); allocation failure refuses the
+// producer, which is the paper's single-server wall below 800 connections.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+#include "rgma/servlet.hpp"
+#include "rgma/sql_ast.hpp"
+#include "rgma/storage.hpp"
+#include "rgma/wire.hpp"
+#include "sim/simulation.hpp"
+
+namespace gridmon::rgma {
+
+struct ProducerServiceStats {
+  std::uint64_t producers_created = 0;
+  std::uint64_t producers_refused = 0;
+  std::uint64_t inserts_ok = 0;
+  std::uint64_t inserts_failed = 0;
+  std::uint64_t tuples_streamed = 0;
+  std::uint64_t batches_sent = 0;
+};
+
+class ProducerService {
+ public:
+  ProducerService(cluster::Host& host, net::StreamTransport& streams,
+                  net::Endpoint endpoint, net::Endpoint registry);
+
+  /// Make a table definition known to this service (schema distribution).
+  void add_table(const TableDef& table);
+
+  /// Serve over HTTPS (TLS costs on every request).
+  void set_secure(bool secure) { servlet_.set_secure(secure); }
+
+  /// Periodically re-assert this service's registrations with the registry
+  /// (soft-state heartbeats; pair with RegistryService::set_registration_ttl).
+  void enable_registration_renewal(SimTime period);
+
+  [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }
+  [[nodiscard]] const ProducerServiceStats& stats() const { return stats_; }
+  [[nodiscard]] int producer_count() const { return static_cast<int>(producers_.size()); }
+
+ private:
+  struct Attachment {
+    int consumer_id = 0;
+    net::Endpoint consumer_service;
+    sql::ExprPtr predicate;  ///< push-down filter (null = all rows)
+    std::uint64_t cursor = 0;
+  };
+  struct ProducerState {
+    int id = 0;
+    std::string table;
+    TupleStore store;
+    std::vector<Attachment> consumers;
+    std::int64_t stored_bytes = 0;
+  };
+
+  void handle(const net::HttpRequest& request, net::HttpServer::Responder respond);
+  void handle_create(const CreateProducerRequest& req, StatusResponse& status);
+  void handle_insert(const InsertRequest& req, StatusResponse& status);
+  void handle_attach(const AttachConsumerNotice& notice);
+  void stream_cycle();
+
+  ServletHost servlet_;
+  net::Endpoint endpoint_;
+  net::Endpoint registry_;
+  net::HttpServer server_;
+  net::HttpClient client_;
+  sim::PeriodicTimer stream_timer_;
+  sim::PeriodicTimer maintenance_timer_;
+  sim::PeriodicTimer renewal_timer_;
+
+  std::map<std::string, TableDef> tables_;
+  std::map<int, ProducerState> producers_;
+  ProducerServiceStats stats_;
+};
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,225 @@
+#include "rgma/registry_service.hpp"
+
+#include "rgma/sql_parser.hpp"
+#include "util/log.hpp"
+
+namespace gridmon::rgma {
+
+namespace costs = cluster::costs;
+
+namespace {
+
+/// Extract the table name and WHERE text from a continuous query.
+struct ParsedQuery {
+  std::string table;
+  std::string predicate_text;
+};
+
+ParsedQuery split_query(const std::string& query) {
+  const auto statement = sql::parse_statement(query);
+  const auto* select = std::get_if<sql::Select>(&statement);
+  if (select == nullptr) {
+    throw sql::SqlParseError("consumer query must be a SELECT", 0);
+  }
+  ParsedQuery out;
+  out.table = select->table;
+  // Keep the raw WHERE text for forwarding to producers (predicate
+  // push-down); locating it textually is fine because the query was just
+  // validated by the parser.
+  const auto where_pos = query.find("WHERE");
+  const auto where_pos2 = query.find("where");
+  const auto pos = where_pos != std::string::npos ? where_pos : where_pos2;
+  if (pos != std::string::npos) {
+    out.predicate_text = query.substr(pos + 5);
+  }
+  return out;
+}
+
+}  // namespace
+
+RegistryService::RegistryService(cluster::Host& host,
+                                 net::StreamTransport& streams,
+                                 net::Endpoint endpoint)
+    : servlet_(host),
+      endpoint_(endpoint),
+      server_(streams, endpoint,
+              [this](const net::HttpRequest& req,
+                     net::HttpServer::Responder respond) {
+                handle(req, std::move(respond));
+              }),
+      notifier_(streams, net::Endpoint{endpoint.node,
+                                       static_cast<std::uint16_t>(
+                                           endpoint.port + 2000)}) {}
+
+void RegistryService::handle(const net::HttpRequest& request,
+                             net::HttpServer::Responder respond) {
+  // Producer lookups (mediation for one-time queries) return a list rather
+  // than a status.
+  if (const auto* lookup =
+          std::any_cast<std::shared_ptr<const LookupProducersRequest>>(
+              &request.body)) {
+    const auto req = *lookup;
+    servlet_.service(units::microseconds(350), [this, req,
+                                                respond = std::move(respond)] {
+      auto payload = std::make_shared<LookupProducersResponse>();
+      for (const ProducerReg& producer : producers_) {
+        if (producer.table == req->table) {
+          payload->producers.emplace_back(producer.id, producer.service);
+        }
+      }
+      net::HttpResponse resp;
+      resp.body_bytes =
+          16 + static_cast<std::int64_t>(payload->producers.size()) * 12;
+      resp.body = std::shared_ptr<const LookupProducersResponse>(payload);
+      respond(std::move(resp));
+    });
+    return;
+  }
+
+  servlet_.service(units::microseconds(300), [this, request,
+                                              respond = std::move(respond)] {
+    net::HttpResponse resp;
+    auto status = std::make_shared<StatusResponse>();
+    try {
+      if (const auto* create =
+              std::any_cast<std::shared_ptr<const CreateTableRequest>>(
+                  &request.body)) {
+        handle_create_table(**create);
+      } else if (const auto* producer = std::any_cast<
+                     std::shared_ptr<const RegisterProducerRequest>>(
+                     &request.body)) {
+        handle_register_producer(**producer);
+      } else if (const auto* consumer = std::any_cast<
+                     std::shared_ptr<const RegisterConsumerRequest>>(
+                     &request.body)) {
+        handle_register_consumer(**consumer);
+      } else if (const auto* renew = std::any_cast<
+                     std::shared_ptr<const RenewRegistrationsRequest>>(
+                     &request.body)) {
+        handle_renewals(**renew);
+      } else {
+        status->ok = false;
+        status->error = "unknown registry request";
+        resp.status = 400;
+      }
+    } catch (const std::exception& e) {
+      status->ok = false;
+      status->error = e.what();
+      resp.status = 400;
+    }
+    resp.body_bytes = 32;
+    resp.body = std::shared_ptr<const StatusResponse>(status);
+    respond(std::move(resp));
+  });
+}
+
+void RegistryService::handle_create_table(const CreateTableRequest& req) {
+  schema_.emplace(req.table.name(), req.table);
+}
+
+void RegistryService::set_registration_ttl(SimTime ttl) {
+  registration_ttl_ = ttl;
+  expiry_timer_.cancel();
+  if (ttl <= 0) return;
+  auto& sim = servlet_.host().sim();
+  const SimTime sweep = ttl / 2 > 0 ? ttl / 2 : 1;
+  expiry_timer_ = sim::PeriodicTimer(sim, sim.now() + sweep, sweep,
+                                     [this] { expire_stale(); });
+}
+
+void RegistryService::expire_stale() {
+  const SimTime now = servlet_.host().sim().now();
+  const SimTime cutoff = now - registration_ttl_;
+  const auto before = producers_.size();
+  std::erase_if(producers_, [cutoff](const ProducerReg& producer) {
+    return producer.last_renewed < cutoff;
+  });
+  expired_count_ += before - producers_.size();
+  if (before != producers_.size()) {
+    servlet_.charge(units::microseconds(200) *
+                    static_cast<SimTime>(before - producers_.size()));
+  }
+}
+
+void RegistryService::handle_renewals(const RenewRegistrationsRequest& req) {
+  const SimTime now = servlet_.host().sim().now();
+  for (ProducerReg& producer : producers_) {
+    if (producer.service != req.producer_service) continue;
+    for (int id : req.producer_ids) {
+      if (producer.id == id) {
+        producer.last_renewed = now;
+        break;
+      }
+    }
+  }
+}
+
+SimTime RegistryService::mediation_latency() const {
+  return costs::kMediationLatencyBase +
+         costs::kMediationLatencyPerProducer *
+             static_cast<SimTime>(producers_.size());
+}
+
+void RegistryService::handle_register_producer(
+    const RegisterProducerRequest& req) {
+  if (!schema_.contains(req.table)) {
+    throw std::runtime_error("table not in schema: " + req.table);
+  }
+  producers_.push_back(ProducerReg{req.producer_id, req.table,
+                                   req.producer_service,
+                                   servlet_.host().sim().now()});
+  const ProducerReg& producer = producers_.back();
+  for (const ConsumerReg& consumer : consumers_) {
+    if (consumer.table == producer.table) mediate(producer, consumer);
+  }
+}
+
+void RegistryService::handle_register_consumer(
+    const RegisterConsumerRequest& req) {
+  const ParsedQuery parsed = split_query(req.query);
+  if (!schema_.contains(parsed.table)) {
+    throw std::runtime_error("table not in schema: " + parsed.table);
+  }
+  consumers_.push_back(ConsumerReg{req.consumer_id, parsed.table,
+                                   parsed.predicate_text,
+                                   req.consumer_service});
+  const ConsumerReg& consumer = consumers_.back();
+  for (const ProducerReg& producer : producers_) {
+    if (producer.table == consumer.table) mediate(producer, consumer);
+  }
+}
+
+void RegistryService::mediate(const ProducerReg& producer,
+                              const ConsumerReg& consumer) {
+  // The mediator runs asynchronously inside the registry; plans converge
+  // only after the mediation latency, which is the source of the warm-up
+  // requirement (publishing before attachment loses tuples).
+  const SimTime latency = mediation_latency();
+  auto& sim = servlet_.host().sim();
+  const auto producer_copy = producer;
+  const auto consumer_copy = consumer;
+  sim.schedule_after(latency, [this, producer_copy, consumer_copy] {
+    servlet_.charge(units::microseconds(400));
+
+    net::HttpRequest attach_producer;
+    attach_producer.path = kProducerPath;
+    attach_producer.body_bytes = 96;
+    attach_producer.body = std::shared_ptr<const AttachConsumerNotice>(
+        std::make_shared<AttachConsumerNotice>(AttachConsumerNotice{
+            producer_copy.id, consumer_copy.id, consumer_copy.service,
+            consumer_copy.predicate_text}));
+    notifier_.request(producer_copy.service, std::move(attach_producer),
+                      [](const net::HttpResponse&) {});
+
+    net::HttpRequest attach_consumer;
+    attach_consumer.path = kConsumerPath;
+    attach_consumer.body_bytes = 64;
+    attach_consumer.body = std::shared_ptr<const AttachProducerNotice>(
+        std::make_shared<AttachProducerNotice>(AttachProducerNotice{
+            consumer_copy.id, producer_copy.id, producer_copy.table}));
+    notifier_.request(consumer_copy.service, std::move(attach_consumer),
+                      [](const net::HttpResponse&) {});
+  });
+}
+
+}  // namespace gridmon::rgma

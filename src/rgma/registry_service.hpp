@@ -1,0 +1,94 @@
+// R-GMA Registry + Schema service.
+//
+// The registry is the virtual database's directory: producers and consumers
+// register here, and the *mediator* inside it matches consumer queries to
+// producers and notifies both sides so streaming can begin. Mediation takes
+// time — the paper found producers must wait 5–10 s after creation before
+// publishing or data is lost, and our mediation latency model (base + per-
+// registered-producer term) reproduces that warm-up requirement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+#include "rgma/servlet.hpp"
+#include "rgma/sql_ast.hpp"
+#include "rgma/wire.hpp"
+#include "sim/simulation.hpp"
+
+namespace gridmon::rgma {
+
+class RegistryService {
+ public:
+  RegistryService(cluster::Host& host, net::StreamTransport& streams,
+                  net::Endpoint endpoint);
+
+  /// Serve over HTTPS (TLS costs on every request).
+  void set_secure(bool secure) { servlet_.set_secure(secure); }
+
+  /// Enable soft-state expiry: registrations not renewed within `ttl`
+  /// disappear from lookups and mediation (0 disables, the default).
+  void set_registration_ttl(SimTime ttl);
+
+  /// Deployment-time schema bootstrap (tables are normally created via the
+  /// Schema servlet; experiments install them before the run starts).
+  void add_table(const TableDef& table) { schema_.emplace(table.name(), table); }
+
+  [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }
+  [[nodiscard]] int producer_count() const { return static_cast<int>(producers_.size()); }
+  [[nodiscard]] int consumer_count() const { return static_cast<int>(consumers_.size()); }
+  [[nodiscard]] const std::map<std::string, TableDef>& schema() const {
+    return schema_;
+  }
+
+ private:
+  struct ProducerReg {
+    int id;
+    std::string table;
+    net::Endpoint service;
+    SimTime last_renewed = 0;
+  };
+  struct ConsumerReg {
+    int id;
+    std::string table;
+    std::string predicate_text;
+    net::Endpoint service;
+  };
+
+  void handle(const net::HttpRequest& request, net::HttpServer::Responder respond);
+  void handle_create_table(const CreateTableRequest& req);
+  void handle_renewals(const RenewRegistrationsRequest& req);
+  void expire_stale();
+  void handle_register_producer(const RegisterProducerRequest& req);
+  void handle_register_consumer(const RegisterConsumerRequest& req);
+
+  /// Mediate one (producer, consumer) pair: after the mediation latency,
+  /// notify the producer service to stream to the consumer service and the
+  /// consumer service that its plan grew.
+  void mediate(const ProducerReg& producer, const ConsumerReg& consumer);
+
+  [[nodiscard]] SimTime mediation_latency() const;
+
+  ServletHost servlet_;
+  net::Endpoint endpoint_;
+  net::HttpServer server_;
+  net::HttpClient notifier_;
+
+  std::map<std::string, TableDef> schema_;
+  std::vector<ProducerReg> producers_;
+  std::vector<ConsumerReg> consumers_;
+  SimTime registration_ttl_ = 0;
+  sim::PeriodicTimer expiry_timer_;
+  std::uint64_t expired_count_ = 0;
+
+ public:
+  [[nodiscard]] std::uint64_t expired_registrations() const {
+    return expired_count_;
+  }
+};
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,28 @@
+#include "rgma/schema.hpp"
+
+namespace gridmon::rgma {
+
+std::optional<std::size_t> TableDef::column_index(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> TableDef::validate(
+    const std::vector<SqlValue>& row) const {
+  if (row.size() != columns_.size()) {
+    return "row has " + std::to_string(row.size()) + " values, table " +
+           name_ + " has " + std::to_string(columns_.size()) + " columns";
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (!type_accepts(columns_[i].type, columns_[i].width, row[i])) {
+      return "value " + sql_to_string(row[i]) + " does not fit column " +
+             columns_[i].name + " (" + to_string(columns_[i].type) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gridmon::rgma

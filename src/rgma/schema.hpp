@@ -1,0 +1,60 @@
+// Table schemas for the virtual database.
+//
+// R-GMA's global schema holds the relational definitions every producer and
+// consumer shares; a producer publishes rows *into* a schema table and a
+// consumer queries it as if it were one big relational database.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rgma/sql_value.hpp"
+
+namespace gridmon::rgma {
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInteger;
+  int width = 0;  ///< CHAR(n)/VARCHAR(n) width; 0 elsewhere
+
+  friend bool operator==(const Column&, const Column&) = default;
+};
+
+class TableDef {
+ public:
+  TableDef() = default;
+  TableDef(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Column>& columns() const { return columns_; }
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+
+  /// Index of a column by (case-sensitive) name.
+  [[nodiscard]] std::optional<std::size_t> column_index(
+      const std::string& name) const;
+
+  /// Validate a row against the column types. Returns an error message or
+  /// nullopt on success.
+  [[nodiscard]] std::optional<std::string> validate(
+      const std::vector<SqlValue>& row) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+/// A row plus its insertion metadata, as held by producer storage.
+struct Tuple {
+  std::vector<SqlValue> values;
+  std::int64_t inserted_at = 0;  ///< SimTime the producer stored it
+
+  [[nodiscard]] std::int64_t wire_size() const {
+    std::int64_t total = 8;
+    for (const auto& v : values) total += sql_wire_size(v);
+    return total;
+  }
+};
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,55 @@
+#include "rgma/secondary_producer.hpp"
+
+namespace gridmon::rgma {
+
+SecondaryProducer::SecondaryProducer(cluster::Host& host,
+                                     net::HttpClient& http,
+                                     net::Endpoint consumer_service,
+                                     net::Endpoint producer_service, int id,
+                                     std::string source_table,
+                                     std::string target_table,
+                                     SimTime deliberate_delay)
+    : host_(host),
+      target_table_(std::move(target_table)),
+      deliberate_delay_(deliberate_delay) {
+  consumer_ = std::make_unique<Consumer>(
+      host, http, consumer_service, id,
+      "SELECT * FROM " + source_table);
+  producer_ = std::make_unique<PrimaryProducer>(host, http, producer_service,
+                                                id, target_table_);
+}
+
+void SecondaryProducer::start(std::function<void(bool ok)> on_ready) {
+  consumer_->create([this, on_ready = std::move(on_ready)](bool consumer_ok) {
+    if (!consumer_ok) {
+      if (on_ready) on_ready(false);
+      return;
+    }
+    producer_->declare([this, on_ready](bool producer_ok) {
+      if (!producer_ok) {
+        if (on_ready) on_ready(false);
+        return;
+      }
+      poll_timer_ = sim::PeriodicTimer(host_.sim(),
+                                       host_.sim().now() + poll_period_,
+                                       poll_period_, [this] { poll_once(); });
+      if (on_ready) on_ready(true);
+    });
+  });
+}
+
+void SecondaryProducer::poll_once() {
+  consumer_->poll([this](std::vector<Tuple> tuples, SimTime) {
+    for (auto& tuple : tuples) {
+      // The deliberate buffering delay: tuples become visible in the
+      // secondary producer's table only after it elapses.
+      host_.sim().schedule_after(
+          deliberate_delay_, [this, values = std::move(tuple.values)]() mutable {
+            ++republished_;
+            producer_->insert(std::move(values));
+          });
+    }
+  });
+}
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,49 @@
+// Secondary Producer: consumes a table via a continuous query and
+// re-publishes the tuples under its own producer registration.
+//
+// The paper's Fig 10 experiment routed data through a Secondary Producer
+// and saw delays up to ~35 s; the R-GMA developers confirmed a *deliberate
+// 30-second delay* in the component. The delay is modelled explicitly
+// (costs::kSecondaryProducerDelay) and is sweepable for the ablation bench.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "rgma/api.hpp"
+#include "sim/simulation.hpp"
+
+namespace gridmon::rgma {
+
+class SecondaryProducer {
+ public:
+  /// Re-publishes tuples of `source_table` into `target_table`. The target
+  /// table must exist in the schema with the same column layout.
+  SecondaryProducer(cluster::Host& host, net::HttpClient& http,
+                    net::Endpoint consumer_service,
+                    net::Endpoint producer_service, int id,
+                    std::string source_table, std::string target_table,
+                    SimTime deliberate_delay);
+
+  /// Create the consumer + producer registrations and begin the re-publish
+  /// loop.
+  void start(std::function<void(bool ok)> on_ready);
+
+  [[nodiscard]] std::uint64_t republished() const { return republished_; }
+
+ private:
+  void poll_once();
+
+  cluster::Host& host_;
+  sim::PeriodicTimer poll_timer_;
+  std::unique_ptr<Consumer> consumer_;
+  std::unique_ptr<PrimaryProducer> producer_;
+  std::string target_table_;
+  SimTime deliberate_delay_;
+  SimTime poll_period_ = units::milliseconds(500);
+  std::uint64_t republished_ = 0;
+};
+
+}  // namespace gridmon::rgma

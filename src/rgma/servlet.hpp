@@ -1,0 +1,53 @@
+// Shared servlet-container behaviour for R-GMA services.
+//
+// Every R-GMA component runs as a servlet inside Tomcat: each request costs
+// container dispatch CPU, inflated by the live worker-thread count (the
+// paper's R-GMA server degraded much faster per connection than the Narada
+// broker — servlet + JDBC machinery is heavier than a raw socket loop).
+#pragma once
+
+#include <functional>
+
+#include "cluster/costs.hpp"
+#include "cluster/host.hpp"
+
+namespace gridmon::rgma {
+
+class ServletHost {
+ public:
+  explicit ServletHost(cluster::Host& host) : host_(host) {}
+
+  /// Secure (HTTPS) mode: every request additionally pays TLS record +
+  /// MAC processing, and `crypto_bytes` of body pay the bulk cipher.
+  void set_secure(bool secure) { secure_ = secure; }
+  [[nodiscard]] bool secure() const { return secure_; }
+
+  /// Charge servlet dispatch plus `extra` work; run `done` at completion.
+  /// `crypto_bytes` is the body size subject to encryption in secure mode.
+  void service(SimTime extra, std::function<void()> done,
+               std::int64_t crypto_bytes = 0) {
+    SimTime demand = cluster::costs::kServletRequestCost + extra;
+    if (secure_) {
+      demand += cluster::costs::kTlsPerRequest +
+                static_cast<SimTime>(static_cast<double>(crypto_bytes) *
+                                     cluster::costs::kTlsPerByteNs);
+    }
+    host_.cpu().execute(
+        host_.loaded(demand, cluster::costs::kServletThreadLoadFactor),
+        std::move(done));
+  }
+
+  /// Fire-and-forget CPU charge with the servlet load factor applied.
+  void charge(SimTime demand) {
+    host_.cpu().charge(
+        host_.loaded(demand, cluster::costs::kServletThreadLoadFactor));
+  }
+
+  [[nodiscard]] cluster::Host& host() { return host_; }
+
+ private:
+  cluster::Host& host_;
+  bool secure_ = false;
+};
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,44 @@
+// WHERE-predicate evaluation over a row, with SQL three-valued logic.
+#pragma once
+
+#include "rgma/schema.hpp"
+#include "rgma/sql_ast.hpp"
+
+namespace gridmon::rgma::sql {
+
+enum class Tri { kFalse, kTrue, kUnknown };
+
+[[nodiscard]] constexpr Tri tri_not(Tri t) {
+  if (t == Tri::kTrue) return Tri::kFalse;
+  if (t == Tri::kFalse) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+[[nodiscard]] constexpr Tri tri_and(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kUnknown || b == Tri::kUnknown) return Tri::kUnknown;
+  return Tri::kTrue;
+}
+[[nodiscard]] constexpr Tri tri_or(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kUnknown || b == Tri::kUnknown) return Tri::kUnknown;
+  return Tri::kFalse;
+}
+
+/// Evaluate a predicate on a row described by `table`. Column references
+/// not present in the table evaluate to NULL (→ UNKNOWN), as does any type
+/// mismatch. Only a TRUE result selects the row.
+[[nodiscard]] Tri evaluate_predicate(const Expr& expr, const TableDef& table,
+                                     const std::vector<SqlValue>& row);
+
+[[nodiscard]] inline bool predicate_selects(const ExprPtr& expr,
+                                            const TableDef& table,
+                                            const std::vector<SqlValue>& row) {
+  if (!expr) return true;
+  return evaluate_predicate(*expr, table, row) == Tri::kTrue;
+}
+
+/// SQL LIKE match with % and _ (no escape support in the R-GMA subset).
+[[nodiscard]] bool sql_like(const std::string& text,
+                            const std::string& pattern);
+
+}  // namespace gridmon::rgma::sql

@@ -1,0 +1,49 @@
+// SQL subset parser: tokenizer + recursive descent over the grammar
+//
+//   statement   := create_table | insert | select
+//   create_table:= CREATE TABLE ident '(' col_def (',' col_def)* ')'
+//   col_def     := ident type
+//   type        := INTEGER | REAL | DOUBLE [PRECISION]
+//                | CHAR ['(' int ')'] | VARCHAR ['(' int ')'] | TIMESTAMP
+//   insert      := INSERT INTO ident ['(' ident (',' ident)* ')']
+//                  VALUES '(' literal (',' literal)* ')'
+//   select      := SELECT ('*' | ident (',' ident)*) FROM ident
+//                  [WHERE or_expr]
+//
+// Predicates use the same expression grammar as JMS selectors (SQL-92
+// conditionals), with column references in place of message properties.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "rgma/sql_ast.hpp"
+
+namespace gridmon::rgma::sql {
+
+class SqlParseError : public std::runtime_error {
+ public:
+  SqlParseError(const std::string& what, std::size_t position)
+      : std::runtime_error(what + " (at offset " + std::to_string(position) +
+                           ")"),
+        position_(position) {}
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parse one statement. Throws SqlParseError on malformed input.
+[[nodiscard]] Statement parse_statement(std::string_view source);
+
+/// Parse just a predicate expression (used for consumer query predicates
+/// and registry mediation).
+[[nodiscard]] ExprPtr parse_predicate(std::string_view source);
+
+/// Render an INSERT statement for a row (what the producer API sends over
+/// the wire).
+[[nodiscard]] std::string render_insert(const std::string& table,
+                                        const std::vector<SqlValue>& values);
+
+}  // namespace gridmon::rgma::sql

@@ -1,0 +1,99 @@
+#include "rgma/sql_value.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridmon::rgma {
+
+double sql_as_double(const SqlValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  throw std::logic_error("sql_as_double: value is not numeric");
+}
+
+std::int64_t sql_wire_size(const SqlValue& v) {
+  struct Sizer {
+    std::int64_t operator()(const SqlNull&) const { return 1; }
+    std::int64_t operator()(std::int64_t) const { return 8; }
+    std::int64_t operator()(double) const { return 8; }
+    std::int64_t operator()(const std::string& s) const {
+      return 2 + static_cast<std::int64_t>(s.size());
+    }
+  };
+  return std::visit(Sizer{}, v);
+}
+
+std::string sql_to_string(const SqlValue& v) {
+  struct Printer {
+    std::string operator()(const SqlNull&) const { return "NULL"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const {
+      // Shortest representation that round-trips exactly, so INSERT
+      // statements rendered by the API reproduce the original value.
+      std::ostringstream out;
+      out << std::setprecision(std::numeric_limits<double>::max_digits10)
+          << d;
+      std::string text = out.str();
+      // Keep the value typed: "2262" would parse back as an integer.
+      if (text.find_first_of(".eE") == std::string::npos &&
+          text.find("inf") == std::string::npos &&
+          text.find("nan") == std::string::npos) {
+        text += ".0";
+      }
+      return text;
+    }
+    std::string operator()(const std::string& s) const {
+      std::string quoted = "'";
+      for (char c : s) {
+        if (c == '\'') quoted += '\'';
+        quoted += c;
+      }
+      quoted += '\'';
+      return quoted;
+    }
+  };
+  return std::visit(Printer{}, v);
+}
+
+std::string to_string(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInteger:
+      return "INTEGER";
+    case ColumnType::kReal:
+      return "REAL";
+    case ColumnType::kDouble:
+      return "DOUBLE PRECISION";
+    case ColumnType::kChar:
+      return "CHAR";
+    case ColumnType::kVarchar:
+      return "VARCHAR";
+    case ColumnType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "?";
+}
+
+bool type_accepts(ColumnType type, int width, const SqlValue& value) {
+  if (is_null(value)) return true;
+  switch (type) {
+    case ColumnType::kInteger:
+    case ColumnType::kTimestamp:
+      return std::holds_alternative<std::int64_t>(value);
+    case ColumnType::kReal:
+    case ColumnType::kDouble:
+      return is_numeric(value);
+    case ColumnType::kChar:
+    case ColumnType::kVarchar: {
+      const auto* s = std::get_if<std::string>(&value);
+      return s != nullptr &&
+             (width <= 0 || static_cast<int>(s->size()) <= width);
+    }
+  }
+  return false;
+}
+
+}  // namespace gridmon::rgma

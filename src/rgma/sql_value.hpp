@@ -1,0 +1,45 @@
+// SQL values and column types for the R-GMA virtual database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace gridmon::rgma {
+
+struct SqlNull {
+  friend bool operator==(const SqlNull&, const SqlNull&) = default;
+};
+
+using SqlValue = std::variant<SqlNull, std::int64_t, double, std::string>;
+
+[[nodiscard]] constexpr bool is_null(const SqlValue& v) {
+  return std::holds_alternative<SqlNull>(v);
+}
+[[nodiscard]] constexpr bool is_numeric(const SqlValue& v) {
+  return std::holds_alternative<std::int64_t>(v) ||
+         std::holds_alternative<double>(v);
+}
+[[nodiscard]] constexpr bool is_string(const SqlValue& v) {
+  return std::holds_alternative<std::string>(v);
+}
+
+[[nodiscard]] double sql_as_double(const SqlValue& v);
+
+/// Approximate serialised size of a value in a result set / insert.
+[[nodiscard]] std::int64_t sql_wire_size(const SqlValue& v);
+
+[[nodiscard]] std::string sql_to_string(const SqlValue& v);
+
+/// Column types supported by the R-GMA schema (the subset the paper's
+/// workload needs).
+enum class ColumnType { kInteger, kReal, kDouble, kChar, kVarchar, kTimestamp };
+
+[[nodiscard]] std::string to_string(ColumnType type);
+
+/// Does `value` fit the declared column type? CHAR(n)/VARCHAR(n) enforce
+/// the declared width.
+[[nodiscard]] bool type_accepts(ColumnType type, int width,
+                                const SqlValue& value);
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,69 @@
+#include "rgma/storage.hpp"
+
+#include <map>
+
+namespace gridmon::rgma {
+
+std::uint64_t TupleStore::insert(Tuple tuple, SimTime now) {
+  tuple.inserted_at = now;
+  const std::uint64_t seq = next_seq_++;
+  tuples_.push_back(Stored{std::move(tuple), seq});
+  return seq;
+}
+
+std::int64_t TupleStore::prune(SimTime now) {
+  const SimTime cutoff = now - config_.history_retention;
+  std::int64_t freed = 0;
+  while (!tuples_.empty() && tuples_.front().tuple.inserted_at < cutoff) {
+    freed += tuples_.front().tuple.wire_size();
+    tuples_.pop_front();
+  }
+  return freed;
+}
+
+std::vector<Tuple> TupleStore::since(std::uint64_t& cursor) const {
+  std::vector<Tuple> out;
+  // Sequences are monotone within the deque; binary-search the cursor.
+  std::size_t lo = 0;
+  std::size_t hi = tuples_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (tuples_[mid].seq > cursor) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  for (std::size_t i = lo; i < tuples_.size(); ++i) {
+    out.push_back(tuples_[i].tuple);
+    cursor = tuples_[i].seq;
+  }
+  return out;
+}
+
+std::vector<Tuple> TupleStore::history(SimTime now) const {
+  const SimTime cutoff = now - config_.history_retention;
+  std::vector<Tuple> out;
+  for (const auto& stored : tuples_) {
+    if (stored.tuple.inserted_at >= cutoff) out.push_back(stored.tuple);
+  }
+  return out;
+}
+
+std::vector<Tuple> TupleStore::latest(SimTime now) const {
+  const SimTime cutoff = now - config_.latest_retention;
+  std::map<std::string, const Tuple*> newest;
+  for (const auto& stored : tuples_) {
+    if (stored.tuple.inserted_at < cutoff) continue;
+    if (config_.key_column >= stored.tuple.values.size()) continue;
+    // Later entries overwrite earlier ones (deque is insertion-ordered).
+    newest[sql_to_string(stored.tuple.values[config_.key_column])] =
+        &stored.tuple;
+  }
+  std::vector<Tuple> out;
+  out.reserve(newest.size());
+  for (const auto& [key, tuple] : newest) out.push_back(*tuple);
+  return out;
+}
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,64 @@
+// Producer-side tuple storage with R-GMA retention semantics.
+//
+// A Primary Producer with memory storage keeps its published tuples for two
+// windows: the *latest retention period* bounds how long a tuple counts as
+// the current value of its primary key, and the *history retention period*
+// bounds how long it is available to history queries at all. The paper's
+// workload sets 30 s and 1 minute respectively.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "rgma/schema.hpp"
+#include "util/units.hpp"
+
+namespace gridmon::rgma {
+
+struct StorageConfig {
+  SimTime latest_retention = units::seconds(30);
+  SimTime history_retention = units::seconds(60);
+  /// Column index used as the primary key for latest queries.
+  std::size_t key_column = 0;
+};
+
+class TupleStore {
+ public:
+  explicit TupleStore(StorageConfig config = {}) : config_(config) {}
+
+  /// Store a tuple inserted at `now`. Returns its monotonically increasing
+  /// sequence number (continuous-query cursors index by it).
+  std::uint64_t insert(Tuple tuple, SimTime now);
+
+  /// Drop tuples past the history retention period. Returns bytes freed.
+  std::int64_t prune(SimTime now);
+
+  /// Continuous query support: tuples with sequence > `cursor`, oldest
+  /// first; updates `cursor`.
+  [[nodiscard]] std::vector<Tuple> since(std::uint64_t& cursor) const;
+
+  /// History query: all retained tuples matching nothing more than the
+  /// retention window (predicates evaluate upstream).
+  [[nodiscard]] std::vector<Tuple> history(SimTime now) const;
+
+  /// Latest query: newest tuple per key-column value within the latest
+  /// retention period.
+  [[nodiscard]] std::vector<Tuple> latest(SimTime now) const;
+
+  [[nodiscard]] std::size_t size() const { return tuples_.size(); }
+  [[nodiscard]] std::uint64_t head_sequence() const { return next_seq_; }
+  [[nodiscard]] const StorageConfig& config() const { return config_; }
+
+ private:
+  struct Stored {
+    Tuple tuple;
+    std::uint64_t seq;
+  };
+
+  StorageConfig config_;
+  std::deque<Stored> tuples_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace gridmon::rgma

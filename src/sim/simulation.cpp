@@ -1,0 +1,90 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+namespace gridmon::sim {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+Simulation::Simulation(std::uint64_t seed)
+    : seed_(seed), root_rng_(seed) {}
+
+EventHandle Simulation::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{at, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+std::uint64_t Simulation::run_until(SimTime until) {
+  std::uint64_t executed = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    const Event& top = queue_.top();
+    if (top.time > until) break;
+    // Move the event out before popping; pop invalidates the reference.
+    Event event = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    now_ = event.time;
+    if (event.state->cancelled) continue;
+    event.state->fired = true;
+    event.fn();
+    ++executed;
+    ++executed_;
+  }
+  // Advance the clock to the horizon even if the queue drained earlier, so
+  // back-to-back run_until calls see monotonic time.
+  if (now_ < until && queue_.empty()) now_ = until;
+  return executed;
+}
+
+std::uint64_t Simulation::run() {
+  std::uint64_t executed = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    if (event.state->cancelled) continue;
+    event.state->fired = true;
+    event.fn();
+    ++executed;
+    ++executed_;
+  }
+  return executed;
+}
+
+PeriodicTimer::PeriodicTimer(Simulation& sim, SimTime first_at, SimTime period,
+                             std::function<void()> fn) {
+  impl_ = std::make_shared<Impl>();
+  impl_->sim = &sim;
+  impl_->period = period > 0 ? period : 1;
+  impl_->fn = std::move(fn);
+  arm(impl_, first_at);
+}
+
+void PeriodicTimer::arm(const std::shared_ptr<Impl>& impl, SimTime at) {
+  std::weak_ptr<Impl> weak = impl;
+  impl->next = impl->sim->schedule_at(at, [weak] {
+    auto self = weak.lock();
+    if (!self || !self->active) return;
+    self->fn();
+    // fn may have cancelled the timer.
+    if (self->active) arm(self, self->sim->now() + self->period);
+  });
+}
+
+void PeriodicTimer::cancel() {
+  if (impl_) {
+    impl_->active = false;
+    impl_->next.cancel();
+  }
+}
+
+}  // namespace gridmon::sim

@@ -1,0 +1,106 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gridmon::util {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+std::string format_tick(double value) {
+  std::ostringstream out;
+  if (std::abs(value) >= 1000.0) {
+    out.precision(0);
+  } else if (std::abs(value) >= 10.0) {
+    out.precision(1);
+  } else {
+    out.precision(2);
+  }
+  out.setf(std::ios::fixed);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+void AsciiChart::add_series(std::string name,
+                            std::vector<std::pair<double, double>> points) {
+  Series series;
+  series.name = std::move(name);
+  series.points = std::move(points);
+  series.glyph = kGlyphs[series_.size() % sizeof(kGlyphs)];
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiChart::render() const {
+  bool any = false;
+  double min_x = 0;
+  double max_x = 0;
+  double min_y = 0;
+  double max_y = 0;
+  for (const auto& series : series_) {
+    for (const auto& [x, y] : series.points) {
+      if (!any) {
+        min_x = max_x = x;
+        min_y = max_y = y;
+        any = true;
+      } else {
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+      }
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (max_x == min_x) max_x = min_x + 1;
+  if (max_y == min_y) max_y = min_y + 1;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), ' '));
+  auto plot = [&](double x, double y, char glyph) {
+    const int col = static_cast<int>(
+        std::lround((x - min_x) / (max_x - min_x) * (width_ - 1)));
+    const int row = static_cast<int>(
+        std::lround((y - min_y) / (max_y - min_y) * (height_ - 1)));
+    grid[static_cast<std::size_t>(height_ - 1 - row)]
+        [static_cast<std::size_t>(col)] = glyph;
+  };
+  for (const auto& series : series_) {
+    for (const auto& [x, y] : series.points) plot(x, y, series.glyph);
+  }
+
+  const std::string top_label = format_tick(max_y);
+  const std::string bottom_label = format_tick(min_y);
+  const std::size_t margin = std::max(top_label.size(), bottom_label.size());
+
+  std::ostringstream out;
+  for (int row = 0; row < height_; ++row) {
+    std::string label;
+    if (row == 0) {
+      label = top_label;
+    } else if (row == height_ - 1) {
+      label = bottom_label;
+    }
+    out << std::string(margin - label.size(), ' ') << label << " |"
+        << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  out << std::string(margin + 1, ' ') << '+'
+      << std::string(static_cast<std::size_t>(width_), '-') << '\n';
+  out << std::string(margin + 2, ' ') << format_tick(min_x)
+      << std::string(static_cast<std::size_t>(width_) -
+                         format_tick(min_x).size() - format_tick(max_x).size(),
+                     ' ')
+      << format_tick(max_x) << '\n';
+  out << std::string(margin + 2, ' ');
+  for (const auto& series : series_) {
+    out << series.glyph << " = " << series.name << "  ";
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace gridmon::util

@@ -1,0 +1,36 @@
+// ASCII line charts for bench output: render the paper's figure series as
+// terminal plots next to the numeric tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gridmon::util {
+
+class AsciiChart {
+ public:
+  /// `width` x `height` character plotting area (axes add a margin).
+  AsciiChart(int width = 60, int height = 16)
+      : width_(width), height_(height) {}
+
+  /// Add a named series of (x, y) points. Each series is drawn with its
+  /// own glyph ('*', 'o', '+', 'x', '#', '@' in order of addition).
+  void add_series(std::string name, std::vector<std::pair<double, double>> points);
+
+  /// Render with shared axes covering all series. Empty charts render a
+  /// placeholder line.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+    char glyph;
+  };
+
+  int width_;
+  int height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace gridmon::util

@@ -1,0 +1,62 @@
+// Minimal severity logger.
+//
+// The simulator is deterministic and single-threaded per Simulation, so the
+// logger is intentionally simple: a global level, a sink, printf-free
+// iostream formatting through a small RAII line builder.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gridmon::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-global log configuration.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Redirect output (default: stderr). Used by tests to capture lines.
+  static void set_sink(std::function<void(std::string_view)> sink);
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+};
+
+/// Builds one log line; emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Log::write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gridmon::util
+
+#define GRIDMON_LOG(level_, component_)                                 \
+  if (::gridmon::util::Log::level() <= (level_))                        \
+  ::gridmon::util::LogLine((level_), (component_))
+
+#define GRIDMON_DEBUG(component) \
+  GRIDMON_LOG(::gridmon::util::LogLevel::kDebug, component)
+#define GRIDMON_INFO(component) \
+  GRIDMON_LOG(::gridmon::util::LogLevel::kInfo, component)
+#define GRIDMON_WARN(component) \
+  GRIDMON_LOG(::gridmon::util::LogLevel::kWarn, component)
+#define GRIDMON_ERROR(component) \
+  GRIDMON_LOG(::gridmon::util::LogLevel::kError, component)

@@ -1,0 +1,135 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace gridmon::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double SampleSet::fraction_below(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), threshold);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+LogHistogram::LogHistogram(double lo, double hi, double growth) {
+  double upper = lo;
+  while (upper < hi) {
+    uppers_.push_back(upper);
+    upper *= growth;
+  }
+  uppers_.push_back(hi);
+  // +1 bucket for overflow.
+  counts_.assign(uppers_.size() + 1, 0);
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  const auto it = std::lower_bound(uppers_.begin(), uppers_.end(), x);
+  counts_[static_cast<std::size_t>(it - uppers_.begin())]++;
+}
+
+double LogHistogram::bucket_upper(std::size_t i) const {
+  if (i < uppers_.size()) return uppers_[i];
+  return std::numeric_limits<double>::infinity();
+}
+
+std::string LogHistogram::render(int width) const {
+  std::ostringstream out;
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) peak = 1;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double upper = bucket_upper(i);
+    out << "<= ";
+    if (std::isinf(upper)) {
+      out << "inf      ";
+    } else {
+      out.setf(std::ios::fixed);
+      out.precision(3);
+      out.width(9);
+      out << upper;
+    }
+    out << " | ";
+    const int bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) * width);
+    for (int b = 0; b < bar; ++b) out << '#';
+    out << ' ' << counts_[i] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace gridmon::util

@@ -1,0 +1,90 @@
+// Streaming and exact statistics used by the measurement harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gridmon::util {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact sample set with quantile queries. Stores every sample; the study's
+/// largest experiment records fewer than a million RTTs, so exactness is
+/// affordable and matches how the paper computed its percentile plots.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Quantile in [0,1] with linear interpolation between order statistics.
+  /// quantile(1.0) is the maximum. Returns 0 for an empty set.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  /// Fraction of samples <= threshold.
+  [[nodiscard]] double fraction_below(double threshold) const;
+
+  [[nodiscard]] const std::vector<double>& raw() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-boundary histogram with logarithmically spaced buckets, used for
+/// latency distributions in reports.
+class LogHistogram {
+ public:
+  /// Buckets: [0, lo), [lo, lo*growth), ... up to hi, plus overflow.
+  LogHistogram(double lo, double hi, double growth = 2.0);
+
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket_value(std::size_t i) const { return counts_[i]; }
+  /// Inclusive upper bound of bucket i (infinity for the overflow bucket).
+  [[nodiscard]] double bucket_upper(std::size_t i) const;
+
+  [[nodiscard]] std::string render(int width = 40) const;
+
+ private:
+  std::vector<double> uppers_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gridmon::util

@@ -1,0 +1,49 @@
+// Units used throughout the simulator.
+//
+// Simulated time is a signed 64-bit count of *nanoseconds* since the start of
+// the simulation. We deliberately do not use std::chrono inside the hot event
+// loop: a bare integer keeps the event queue POD-friendly, and every duration
+// constant in the codebase is built through the named helpers below so the
+// unit is always visible at the call site.
+#pragma once
+
+#include <cstdint>
+
+namespace gridmon {
+
+/// Simulated time point or duration, in nanoseconds.
+using SimTime = std::int64_t;
+
+namespace units {
+
+constexpr SimTime nanoseconds(std::int64_t n) { return n; }
+constexpr SimTime microseconds(std::int64_t n) { return n * 1'000; }
+constexpr SimTime milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr SimTime seconds(std::int64_t n) { return n * 1'000'000'000; }
+constexpr SimTime minutes(std::int64_t n) { return n * 60'000'000'000; }
+
+/// Fractional helpers (useful for cost models expressed in fractional ms).
+constexpr SimTime microseconds_f(double n) {
+  return static_cast<SimTime>(n * 1e3);
+}
+constexpr SimTime milliseconds_f(double n) {
+  return static_cast<SimTime>(n * 1e6);
+}
+constexpr SimTime seconds_f(double n) { return static_cast<SimTime>(n * 1e9); }
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_micros(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+constexpr std::int64_t KiB = 1024;
+constexpr std::int64_t MiB = 1024 * 1024;
+constexpr std::int64_t GiB = 1024 * 1024 * 1024;
+
+/// Bits-per-second rate → time to serialise `bytes` onto the wire.
+constexpr SimTime transmission_time(std::int64_t bytes, double bits_per_sec) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
+                              bits_per_sec * 1e9);
+}
+
+}  // namespace units
+}  // namespace gridmon

@@ -1,0 +1,131 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace gridmon::core {
+namespace {
+
+TEST(Metrics, RecordsRttAndPhases) {
+  Metrics metrics;
+  // PRT = 2 ms, PT = 5 ms, SRT = 1 ms → RTT = 8 ms.
+  metrics.record(units::milliseconds(0), units::milliseconds(2),
+                 units::milliseconds(7), units::milliseconds(8));
+  EXPECT_EQ(metrics.received(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.rtt_mean_ms(), 8.0);
+  EXPECT_DOUBLE_EQ(metrics.prt_ms().mean(), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.pt_ms().mean(), 5.0);
+  EXPECT_DOUBLE_EQ(metrics.srt_ms().mean(), 1.0);
+}
+
+TEST(Metrics, DecompositionSumsToRtt) {
+  Metrics metrics;
+  metrics.record(units::milliseconds(10), units::milliseconds(12),
+                 units::milliseconds(20), units::milliseconds(21));
+  metrics.record(units::milliseconds(100), units::milliseconds(105),
+                 units::milliseconds(150), units::milliseconds(153));
+  const double sum = metrics.prt_ms().mean() + metrics.pt_ms().mean() +
+                     metrics.srt_ms().mean();
+  EXPECT_NEAR(sum, metrics.rtt_mean_ms(), 1e-9);
+}
+
+TEST(Metrics, LossRate) {
+  Metrics metrics;
+  metrics.count_sent(1000);
+  for (int i = 0; i < 998; ++i) {
+    metrics.record(0, 0, 0, units::milliseconds(1));
+  }
+  EXPECT_EQ(metrics.sent(), 1000u);
+  EXPECT_EQ(metrics.received(), 998u);
+  EXPECT_NEAR(metrics.loss_rate(), 0.002, 1e-12);
+}
+
+TEST(Metrics, LossRateEdgeCases) {
+  Metrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.loss_rate(), 0.0);  // nothing sent
+  metrics.record(0, 0, 0, 1);                  // received > sent (duplicates)
+  EXPECT_DOUBLE_EQ(metrics.loss_rate(), 0.0);
+}
+
+TEST(Metrics, Percentiles) {
+  Metrics metrics;
+  for (int i = 1; i <= 100; ++i) {
+    metrics.record(0, 0, 0, units::milliseconds(i));
+  }
+  EXPECT_NEAR(metrics.rtt_percentile_ms(95), 95.05, 0.1);
+  EXPECT_DOUBLE_EQ(metrics.rtt_percentile_ms(100), 100.0);
+}
+
+TEST(Metrics, RefusedConnections) {
+  Metrics metrics;
+  metrics.count_refused_connection();
+  metrics.count_refused_connection();
+  EXPECT_EQ(metrics.refused_connections(), 2u);
+}
+
+TEST(Report, PercentileRowUsesPaperAxis) {
+  Results results;
+  for (int i = 1; i <= 1000; ++i) {
+    results.metrics.record(0, 0, 0, units::milliseconds(i));
+  }
+  const auto row = percentile_row(results);
+  ASSERT_EQ(row.size(), paper_percentiles().size());
+  EXPECT_NEAR(row.front(), 950.0, 1.0);   // 95th
+  EXPECT_NEAR(row.back(), 1000.0, 0.01);  // 100th = max
+  // Monotone nondecreasing across the axis.
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    EXPECT_GE(row[i], row[i - 1]);
+  }
+}
+
+TEST(Report, DecompositionRowIsCumulative) {
+  Results results;
+  results.metrics.record(units::milliseconds(0), units::milliseconds(3),
+                         units::milliseconds(10), units::milliseconds(12));
+  const auto row = decomposition_row(results);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  EXPECT_DOUBLE_EQ(row[1], 3.0);
+  EXPECT_DOUBLE_EQ(row[2], 10.0);
+  EXPECT_DOUBLE_EQ(row[3], 12.0);
+}
+
+TEST(Report, RttAndResourceRows) {
+  Results results;
+  results.metrics.record(0, 0, 0, units::milliseconds(4));
+  results.metrics.record(0, 0, 0, units::milliseconds(6));
+  const auto rtt = rtt_row(results);
+  EXPECT_DOUBLE_EQ(rtt[0], 5.0);
+  EXPECT_DOUBLE_EQ(rtt[1], 1.0);
+
+  results.servers.cpu_idle_pct = 80.0;
+  results.servers.memory_bytes = 256 * units::MiB;
+  const auto resources = resource_row(results);
+  EXPECT_DOUBLE_EQ(resources[0], 80.0);
+  EXPECT_DOUBLE_EQ(resources[1], 256.0);
+}
+
+TEST(Report, RealtimeGrades) {
+  Results fast;
+  for (int i = 0; i < 1000; ++i) {
+    fast.metrics.record(0, 0, 0, units::milliseconds(5));
+  }
+  EXPECT_EQ(grade_realtime(fast), "Very good");
+
+  Results slow;
+  for (int i = 0; i < 1000; ++i) {
+    slow.metrics.record(0, 0, 0, units::milliseconds(2000));
+  }
+  EXPECT_EQ(grade_realtime(slow), "Average");
+}
+
+TEST(Results, OomWallFlag) {
+  Results results;
+  EXPECT_FALSE(results.hit_oom_wall());
+  results.refused = 3;
+  EXPECT_TRUE(results.hit_oom_wall());
+}
+
+}  // namespace
+}  // namespace gridmon::core

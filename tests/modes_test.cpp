@@ -1,0 +1,81 @@
+// Tests for the delivery-quality knobs the paper held fixed: persistent
+// JMS delivery, R-GMA secure (HTTPS) mode, the legacy StreamProducer path,
+// and the §III.D Web Services proxy cost model.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/payloads.hpp"
+#include "gma/webservices.hpp"
+
+namespace gridmon {
+namespace {
+
+core::NaradaConfig quick_narada(int generators) {
+  core::NaradaConfig config;
+  config.generators = generators;
+  config.duration = units::minutes(2);
+  return config;
+}
+
+core::RgmaConfig quick_rgma(int producers) {
+  core::RgmaConfig config;
+  config.producers = producers;
+  config.duration = units::minutes(2);
+  return config;
+}
+
+TEST(DeliveryModes, PersistentDeliveryCostsStableStorageWrites) {
+  const auto baseline = core::run_narada_experiment(quick_narada(100));
+  auto config = quick_narada(100);
+  config.delivery_mode = jms::DeliveryMode::kPersistent;
+  const auto persistent = core::run_narada_experiment(config);
+  // No loss either way, but persistence pays at least the ~6 ms write.
+  EXPECT_EQ(persistent.metrics.received(), persistent.metrics.sent());
+  EXPECT_GT(persistent.metrics.rtt_mean_ms(),
+            baseline.metrics.rtt_mean_ms() + 5.0);
+}
+
+TEST(DeliveryModes, HttpsCostsCpuButLosesNothing) {
+  const auto http = core::run_rgma_experiment(quick_rgma(100));
+  auto config = quick_rgma(100);
+  config.secure = true;
+  const auto https = core::run_rgma_experiment(config);
+  EXPECT_EQ(https.metrics.received(), https.metrics.sent());
+  EXPECT_GT(https.metrics.rtt_mean_ms(), http.metrics.rtt_mean_ms());
+  EXPECT_LT(https.servers.cpu_idle_pct, http.servers.cpu_idle_pct);
+}
+
+TEST(DeliveryModes, LegacyStreamApiSkipsTheEvaluationCycle) {
+  const auto modern = core::run_rgma_experiment(quick_rgma(100));
+  auto config = quick_rgma(100);
+  config.legacy_stream_api = true;
+  const auto legacy = core::run_rgma_experiment(config);
+  EXPECT_EQ(legacy.metrics.received(), legacy.metrics.sent());
+  // The old API path is dramatically faster — the paper's §III.F.3
+  // explanation for the discrepancy with related work [11].
+  EXPECT_LT(legacy.metrics.rtt_mean_ms(),
+            0.6 * modern.metrics.rtt_mean_ms());
+}
+
+TEST(SoapModel, EnvelopeInflatesAndCodecCosts) {
+  util::Rng rng(1);
+  const jms::Message msg = core::make_generator_message("t", 1, 0, 0, rng);
+  gma::SoapCostModel model;
+  EXPECT_GT(model.soap_wire_size(msg), 2 * msg.wire_size());
+  // The paper's payload has 12 numeric map fields + 2 numeric properties.
+  EXPECT_EQ(gma::SoapCostModel::numeric_fields(msg), 14);
+  EXPECT_GT(model.codec_demand(msg), units::milliseconds(1));
+  EXPECT_GT(model.decode_demand(msg), 0);
+}
+
+TEST(SoapModel, CodecDemandScalesWithMessageSize) {
+  util::Rng rng(1);
+  jms::Message small = core::make_generator_message("t", 1, 0, 0, rng);
+  jms::Message big = small;
+  big.map_set("blob", std::string(5000, 'x'));
+  gma::SoapCostModel model;
+  EXPECT_GT(model.codec_demand(big), 2 * model.codec_demand(small));
+}
+
+}  // namespace
+}  // namespace gridmon

@@ -1,0 +1,155 @@
+#include "narada/dbn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/hydra.hpp"
+#include "narada/client.hpp"
+
+namespace gridmon::narada {
+namespace {
+
+struct DbnFixture : ::testing::Test {
+  cluster::Hydra hydra{cluster::HydraConfig{.seed = 11}};
+
+  std::shared_ptr<NaradaClient> make_client(int host, std::uint16_t port,
+                                            net::Endpoint broker) {
+    return NaradaClient::create(hydra.host(host), hydra.lan(), hydra.streams(),
+                                broker, net::Endpoint{host, port},
+                                TransportKind::kTcp);
+  }
+};
+
+TEST_F(DbnFixture, FourBrokerMeshDeliversAcrossBrokers) {
+  DbnConfig config;
+  config.broker_hosts = {0, 1, 2, 3};
+  Dbn dbn(hydra, config);
+  dbn.start();
+  ASSERT_EQ(dbn.broker_count(), 4);
+
+  // Subscriber on broker 3, publisher on broker 0.
+  auto sub = make_client(4, 9000, dbn.broker_endpoint(3));
+  auto pub = make_client(5, 9001, dbn.broker_endpoint(0));
+  int received = 0;
+  sub->connect([&](bool ok) {
+    ASSERT_TRUE(ok);
+    sub->subscribe("t", "", jms::AcknowledgeMode::kAutoAcknowledge,
+                   [&](const jms::MessagePtr&, SimTime) { ++received; });
+  });
+  pub->connect([&](bool ok) {
+    ASSERT_TRUE(ok);
+    for (int i = 0; i < 3; ++i) {
+      pub->publish(jms::make_text_message("t", "x"));
+    }
+  });
+  hydra.sim().run_until(units::seconds(10));
+  EXPECT_EQ(received, 3);
+  // Broadcast deficiency: each event forwarded to all 3 peers.
+  EXPECT_EQ(dbn.total_stats().events_forwarded, 9u);
+}
+
+TEST_F(DbnFixture, SubscriptionAwareRoutingForwardsOnlyTowardInterest) {
+  DbnConfig config;
+  config.broker_hosts = {0, 1, 2, 3};
+  config.subscription_aware_routing = true;
+  Dbn dbn(hydra, config);
+  dbn.start();
+
+  auto sub = make_client(4, 9000, dbn.broker_endpoint(3));
+  auto pub = make_client(5, 9001, dbn.broker_endpoint(0));
+  int received = 0;
+  sub->connect([&](bool) {
+    sub->subscribe("t", "", jms::AcknowledgeMode::kAutoAcknowledge,
+                   [&](const jms::MessagePtr&, SimTime) { ++received; });
+  });
+  // Let the subscription advertisement flood before publishing.
+  hydra.sim().run_until(units::seconds(1));
+  pub->connect([&](bool) {
+    for (int i = 0; i < 3; ++i) {
+      pub->publish(jms::make_text_message("t", "x"));
+    }
+  });
+  hydra.sim().run_until(units::seconds(10));
+  EXPECT_EQ(received, 3);
+  // Only the path toward broker 3 carries the events (one forward each).
+  EXPECT_EQ(dbn.total_stats().events_forwarded, 3u);
+}
+
+TEST_F(DbnFixture, ChainTopologyRelaysAlongThePath) {
+  DbnConfig config;
+  config.broker_hosts = {0, 1, 2, 3};
+  config.topology = DbnTopology::kChain;
+  config.subscription_aware_routing = true;
+  Dbn dbn(hydra, config);
+  dbn.start();
+  EXPECT_TRUE(dbn.map().linked(0, 1));
+  EXPECT_FALSE(dbn.map().linked(0, 3));
+  EXPECT_EQ(dbn.map().next_hop(0, 3), 1);
+
+  auto sub = make_client(4, 9000, dbn.broker_endpoint(3));
+  auto pub = make_client(5, 9001, dbn.broker_endpoint(0));
+  int received = 0;
+  sub->connect([&](bool) {
+    sub->subscribe("t", "", jms::AcknowledgeMode::kAutoAcknowledge,
+                   [&](const jms::MessagePtr&, SimTime) { ++received; });
+  });
+  hydra.sim().run_until(units::seconds(1));
+  pub->connect([&](bool) { pub->publish(jms::make_text_message("t", "x")); });
+  hydra.sim().run_until(units::seconds(10));
+  EXPECT_EQ(received, 1);
+  // Relayed 0→1→2→3: three forward sends.
+  EXPECT_EQ(dbn.total_stats().events_forwarded, 3u);
+}
+
+TEST_F(DbnFixture, StarTopologyRoutesThroughTheHub) {
+  DbnConfig config;
+  config.broker_hosts = {0, 1, 2};
+  config.topology = DbnTopology::kStar;
+  Dbn dbn(hydra, config);
+  dbn.start();
+  EXPECT_TRUE(dbn.map().linked(0, 1));
+  EXPECT_TRUE(dbn.map().linked(0, 2));
+  EXPECT_FALSE(dbn.map().linked(1, 2));
+  EXPECT_EQ(dbn.map().next_hop(1, 2), 0);
+}
+
+TEST_F(DbnFixture, DiscoveryNodeSplitsPublishersAndSubscribers) {
+  DbnConfig config;
+  config.broker_hosts = {0, 1, 2, 3};
+  Dbn dbn(hydra, config);
+  // 2 publishing brokers (0, 1) and 2 subscribing brokers (2, 3).
+  EXPECT_EQ(dbn.assign_publisher_broker(), dbn.broker_endpoint(0));
+  EXPECT_EQ(dbn.assign_publisher_broker(), dbn.broker_endpoint(1));
+  EXPECT_EQ(dbn.assign_publisher_broker(), dbn.broker_endpoint(0));
+  EXPECT_EQ(dbn.assign_subscriber_broker(), dbn.broker_endpoint(2));
+  EXPECT_EQ(dbn.assign_subscriber_broker(), dbn.broker_endpoint(3));
+  EXPECT_EQ(dbn.assign_subscriber_broker(), dbn.broker_endpoint(2));
+}
+
+TEST_F(DbnFixture, SingleBrokerServesBothRoles) {
+  DbnConfig config;
+  config.broker_hosts = {0};
+  Dbn dbn(hydra, config);
+  EXPECT_EQ(dbn.assign_publisher_broker(), dbn.broker_endpoint(0));
+  EXPECT_EQ(dbn.assign_subscriber_broker(), dbn.broker_endpoint(0));
+}
+
+TEST_F(DbnFixture, EmptyHostListThrows) {
+  DbnConfig config;
+  config.broker_hosts = {};
+  EXPECT_THROW(Dbn dbn(hydra, config), std::invalid_argument);
+}
+
+TEST_F(DbnFixture, BroadcastDeliversNowhereWithoutSubscribers) {
+  DbnConfig config;
+  config.broker_hosts = {0, 1};
+  Dbn dbn(hydra, config);
+  dbn.start();
+  auto pub = make_client(4, 9001, dbn.broker_endpoint(0));
+  pub->connect([&](bool) { pub->publish(jms::make_text_message("t", "x")); });
+  hydra.sim().run_until(units::seconds(5));
+  EXPECT_EQ(dbn.total_stats().events_forwarded, 1u);  // still broadcast
+  EXPECT_EQ(dbn.total_stats().events_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace gridmon::narada

@@ -1,0 +1,84 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridmon::net {
+namespace {
+
+TEST(Link, TransmissionTimeMatchesLineRate) {
+  // 100 Mbps, no latency, full efficiency: 1250 bytes = 100 us.
+  Link link(100e6, 0, 1.0);
+  const SimTime arrival = link.transmit(0, 1250);
+  EXPECT_EQ(arrival, units::microseconds(100));
+}
+
+TEST(Link, LatencyAddsToArrival) {
+  Link link(100e6, units::microseconds(30), 1.0);
+  const SimTime arrival = link.transmit(0, 1250);
+  EXPECT_EQ(arrival, units::microseconds(130));
+}
+
+TEST(Link, EfficiencyScalesRate) {
+  Link link(100e6, 0, 0.5);
+  const SimTime arrival = link.transmit(0, 1250);
+  EXPECT_EQ(arrival, units::microseconds(200));
+}
+
+TEST(Link, FramesQueueFifo) {
+  Link link(100e6, 0, 1.0);
+  const SimTime first = link.transmit(0, 1250);
+  const SimTime second = link.transmit(0, 1250);  // queues behind the first
+  EXPECT_EQ(first, units::microseconds(100));
+  EXPECT_EQ(second, units::microseconds(200));
+}
+
+TEST(Link, IdleGapResetsQueue) {
+  Link link(100e6, 0, 1.0);
+  link.transmit(0, 1250);  // busy until 100 us
+  const SimTime later = link.transmit(units::microseconds(500), 1250);
+  EXPECT_EQ(later, units::microseconds(600));
+}
+
+TEST(Link, BacklogReflectsQueuedWork) {
+  Link link(100e6, 0, 1.0);
+  EXPECT_EQ(link.backlog(0), 0);
+  link.transmit(0, 1250);
+  EXPECT_EQ(link.backlog(0), units::microseconds(100));
+  EXPECT_EQ(link.backlog(units::microseconds(40)), units::microseconds(60));
+  EXPECT_EQ(link.backlog(units::microseconds(200)), 0);
+}
+
+TEST(Link, CountersAccumulate) {
+  Link link(100e6, 0, 1.0);
+  link.transmit(0, 100);
+  link.transmit(0, 200);
+  EXPECT_EQ(link.bytes_carried(), 300);
+  EXPECT_EQ(link.frames_carried(), 2u);
+}
+
+TEST(Link, ArrivalsAreMonotonePerLink) {
+  Link link(10e6, units::microseconds(10), 0.8);
+  SimTime previous = 0;
+  for (int i = 0; i < 50; ++i) {
+    const SimTime arrival = link.transmit(i * 100, 700);
+    EXPECT_GT(arrival, previous);
+    previous = arrival;
+  }
+}
+
+TEST(Units, TransmissionTimeHelper) {
+  EXPECT_EQ(units::transmission_time(1250, 100e6), units::microseconds(100));
+  EXPECT_EQ(units::transmission_time(0, 100e6), 0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(units::milliseconds(1), 1'000'000);
+  EXPECT_EQ(units::seconds(2), 2'000'000'000);
+  EXPECT_EQ(units::minutes(1), units::seconds(60));
+  EXPECT_DOUBLE_EQ(units::to_millis(units::milliseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(units::to_seconds(units::seconds(3)), 3.0);
+  EXPECT_EQ(units::milliseconds_f(1.5), 1'500'000);
+}
+
+}  // namespace
+}  // namespace gridmon::net

@@ -1,0 +1,175 @@
+#include "net/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridmon::net {
+namespace {
+
+struct StreamFixture : ::testing::Test {
+  sim::Simulation sim{1};
+  LanConfig config{.node_count = 4};
+  Lan lan{sim, config};
+  StreamTransport transport{lan};
+};
+
+TEST_F(StreamFixture, ConnectDeliversToBothSides) {
+  StreamConnectionPtr server_side;
+  StreamConnectionPtr client_side;
+  transport.listen(Endpoint{1, 80},
+                   [&](StreamConnectionPtr conn) { server_side = conn; });
+  transport.connect(Endpoint{0, 5000}, Endpoint{1, 80},
+                    [&](StreamConnectionPtr conn) { client_side = conn; });
+  sim.run();
+  ASSERT_TRUE(server_side);
+  ASSERT_TRUE(client_side);
+  EXPECT_EQ(server_side.get(), client_side.get());
+  EXPECT_TRUE(client_side->open());
+  EXPECT_EQ(client_side->endpoint(0), (Endpoint{0, 5000}));
+  EXPECT_EQ(client_side->endpoint(1), (Endpoint{1, 80}));
+  EXPECT_EQ(client_side->peer_of(0), (Endpoint{1, 80}));
+}
+
+TEST_F(StreamFixture, HandshakeTakesWireTime) {
+  SimTime connected_at = -1;
+  transport.listen(Endpoint{1, 80}, [](StreamConnectionPtr) {});
+  transport.connect(Endpoint{0, 5000}, Endpoint{1, 80},
+                    [&](StreamConnectionPtr) { connected_at = sim.now(); });
+  sim.run();
+  EXPECT_GT(connected_at, 0);  // SYN + SYN-ACK round trip happened
+}
+
+TEST_F(StreamFixture, ConnectionRefusedWithoutListener) {
+  bool called = false;
+  StreamConnectionPtr conn;
+  transport.connect(Endpoint{0, 5000}, Endpoint{1, 81},
+                    [&](StreamConnectionPtr c) {
+                      called = true;
+                      conn = c;
+                    });
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(conn, nullptr);
+}
+
+TEST_F(StreamFixture, MessagesArriveInOrderWithPayloads) {
+  StreamConnectionPtr conn;
+  std::vector<int> received;
+  transport.listen(Endpoint{1, 80}, [&](StreamConnectionPtr c) {
+    c->set_handler(1, [&](const Datagram& dg) {
+      received.push_back(std::any_cast<int>(dg.payload));
+    });
+  });
+  transport.connect(Endpoint{0, 5000}, Endpoint{1, 80},
+                    [&](StreamConnectionPtr c) {
+                      conn = c;
+                      for (int i = 0; i < 20; ++i) c->send(0, 100, i);
+                    });
+  sim.run();
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(StreamFixture, BidirectionalTraffic) {
+  int client_got = 0;
+  transport.listen(Endpoint{1, 80}, [&](StreamConnectionPtr c) {
+    c->set_handler(1, [c](const Datagram&) {
+      c->send(1, 50, std::string("pong"));
+    });
+  });
+  transport.connect(Endpoint{0, 5000}, Endpoint{1, 80},
+                    [&](StreamConnectionPtr c) {
+                      c->set_handler(0, [&](const Datagram& dg) {
+                        EXPECT_EQ(std::any_cast<std::string>(dg.payload),
+                                  "pong");
+                        ++client_got;
+                      });
+                      c->send(0, 50, std::string("ping"));
+                    });
+  sim.run();
+  EXPECT_EQ(client_got, 1);
+}
+
+TEST_F(StreamFixture, LargerMessagesArriveLater) {
+  SimTime small_at = 0;
+  SimTime big_at = 0;
+  transport.listen(Endpoint{1, 80}, [&](StreamConnectionPtr c) {
+    c->set_handler(1, [&](const Datagram& dg) {
+      if (dg.bytes < 1000) {
+        small_at = sim.now() - dg.sent_at;
+      } else {
+        big_at = sim.now() - dg.sent_at;
+      }
+    });
+  });
+  transport.connect(Endpoint{0, 5000}, Endpoint{1, 80},
+                    [&](StreamConnectionPtr c) {
+                      c->send(0, 100, std::any{0});
+                      c->send(0, 50000, std::any{1});
+                    });
+  sim.run();
+  EXPECT_GT(big_at, small_at);
+}
+
+TEST_F(StreamFixture, CloseNotifiesBothSidesAndStopsDelivery) {
+  int closes = 0;
+  int deliveries = 0;
+  StreamConnectionPtr conn;
+  transport.listen(Endpoint{1, 80}, [&](StreamConnectionPtr c) {
+    c->set_handler(
+        1, [&](const Datagram&) { ++deliveries; }, [&] { ++closes; });
+  });
+  transport.connect(Endpoint{0, 5000}, Endpoint{1, 80},
+                    [&](StreamConnectionPtr c) {
+                      conn = c;
+                      c->set_handler(0, [](const Datagram&) {}, [&] { ++closes; });
+                    });
+  sim.run();
+  ASSERT_TRUE(conn);
+  conn->close();
+  EXPECT_FALSE(conn->open());
+  conn->send(0, 100, std::any{});  // dropped silently
+  sim.run();
+  EXPECT_EQ(closes, 2);
+  EXPECT_EQ(deliveries, 0);
+}
+
+TEST_F(StreamFixture, DoubleListenThrows) {
+  transport.listen(Endpoint{1, 80}, [](StreamConnectionPtr) {});
+  EXPECT_THROW(transport.listen(Endpoint{1, 80}, [](StreamConnectionPtr) {}),
+               std::logic_error);
+  transport.close_listener(Endpoint{1, 80});
+  transport.listen(Endpoint{1, 80}, [](StreamConnectionPtr) {});
+}
+
+TEST_F(StreamFixture, MessagesSentCounter) {
+  StreamConnectionPtr conn;
+  transport.listen(Endpoint{1, 80}, [](StreamConnectionPtr) {});
+  transport.connect(Endpoint{0, 5000}, Endpoint{1, 80},
+                    [&](StreamConnectionPtr c) { conn = c; });
+  sim.run();
+  conn->send(0, 10, std::any{});
+  conn->send(0, 10, std::any{});
+  conn->send(1, 10, std::any{});
+  EXPECT_EQ(conn->messages_sent(0), 2u);
+  EXPECT_EQ(conn->messages_sent(1), 1u);
+}
+
+TEST_F(StreamFixture, AcceptRunsBeforeConnectCallback) {
+  // The acceptor installs a handler; the initiator must be able to override
+  // it (brokers peering over an accepted connection rely on this order).
+  std::vector<std::string> order;
+  transport.listen(Endpoint{1, 80}, [&](StreamConnectionPtr) {
+    order.push_back("accept");
+  });
+  transport.connect(Endpoint{0, 5000}, Endpoint{1, 80},
+                    [&](StreamConnectionPtr) { order.push_back("connect"); });
+  sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "accept");
+  EXPECT_EQ(order[1], "connect");
+}
+
+}  // namespace
+}  // namespace gridmon::net

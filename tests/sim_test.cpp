@@ -1,0 +1,204 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridmon::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.queue_size(), 0u);
+}
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, SameTimeEventsRunInInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulation, NegativeDelayClampsToZero) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(42, [&] {
+    sim.schedule_after(-100, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 42);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizonInclusive) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(21, [&] { ++fired; });
+  const auto executed = sim.run_until(20);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.queue_size(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulation sim;
+  sim.schedule_at(5, [] {});
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle handle = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelAfterFiringIsHarmless) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle handle = sim.schedule_at(10, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no effect, no crash
+}
+
+TEST(Simulation, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+}
+
+TEST(Simulation, StopHaltsTheLoop) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // A subsequent run resumes.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsExecutedCounts) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulation, RngStreamsAreSeeded) {
+  Simulation a(42);
+  Simulation b(42);
+  Simulation c(43);
+  EXPECT_EQ(a.rng_stream("x").next_u64(), b.rng_stream("x").next_u64());
+  EXPECT_NE(a.rng_stream("x").next_u64(), c.rng_stream("x").next_u64());
+  EXPECT_EQ(a.seed(), 42u);
+}
+
+TEST(Simulation, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(PeriodicTimer, FiresAtEveryPeriod) {
+  Simulation sim;
+  std::vector<SimTime> fire_times;
+  PeriodicTimer timer(sim, 10, 5, [&] { fire_times.push_back(sim.now()); });
+  sim.run_until(30);
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 15, 20, 25, 30}));
+}
+
+TEST(PeriodicTimer, CancelStopsFutureFirings) {
+  Simulation sim;
+  int fired = 0;
+  PeriodicTimer timer(sim, 10, 10, [&] {
+    if (++fired == 3) timer.cancel();
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(timer.active());
+}
+
+TEST(PeriodicTimer, DestructionCancels) {
+  Simulation sim;
+  int fired = 0;
+  {
+    PeriodicTimer timer(sim, 1, 1, [&] { ++fired; });
+    sim.run_until(3);
+  }
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimer, DefaultConstructedIsInactive) {
+  PeriodicTimer timer;
+  EXPECT_FALSE(timer.active());
+  timer.cancel();  // no crash
+}
+
+TEST(PeriodicTimer, MoveKeepsFiring) {
+  Simulation sim;
+  int fired = 0;
+  PeriodicTimer timer;
+  timer = PeriodicTimer(sim, 5, 5, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 4);
+}
+
+}  // namespace
+}  // namespace gridmon::sim

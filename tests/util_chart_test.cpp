@@ -1,0 +1,70 @@
+#include "util/chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridmon::util {
+namespace {
+
+TEST(AsciiChart, EmptyChartRendersPlaceholder) {
+  AsciiChart chart;
+  EXPECT_EQ(chart.render(), "(no data)\n");
+}
+
+TEST(AsciiChart, SinglePointRenders) {
+  AsciiChart chart(20, 5);
+  chart.add_series("s", {{1.0, 2.0}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = s"), std::string::npos);
+}
+
+TEST(AsciiChart, AxesShowValueRange) {
+  AsciiChart chart(40, 8);
+  chart.add_series("rtt", {{500, 2.15}, {1000, 2.78}, {3000, 10.43}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("10.4"), std::string::npos);   // y max (tick precision 0.1)
+  EXPECT_NE(out.find("2.15"), std::string::npos);   // y min
+  EXPECT_NE(out.find("500"), std::string::npos);    // x min
+  EXPECT_NE(out.find("3000"), std::string::npos);   // x max
+}
+
+TEST(AsciiChart, MultipleSeriesUseDistinctGlyphs) {
+  AsciiChart chart(30, 6);
+  chart.add_series("single", {{0, 1}, {1, 2}});
+  chart.add_series("dbn", {{0, 3}, {1, 4}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("* = single"), std::string::npos);
+  EXPECT_NE(out.find("o = dbn"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, MonotoneSeriesRisesAcrossRows) {
+  AsciiChart chart(30, 10);
+  std::vector<std::pair<double, double>> points;
+  for (int i = 0; i <= 10; ++i) points.emplace_back(i, i);
+  chart.add_series("line", points);
+  const std::string out = chart.render();
+  // The topmost plotted glyph appears on an earlier line than the
+  // bottommost one: find first and last line containing '*'.
+  const auto first = out.find('*');
+  const auto last = out.rfind('*');
+  const auto first_line = std::count(out.begin(),
+                                     out.begin() + static_cast<long>(first),
+                                     '\n');
+  const auto last_line = std::count(out.begin(),
+                                    out.begin() + static_cast<long>(last),
+                                    '\n');
+  EXPECT_LT(first_line, last_line);
+}
+
+TEST(AsciiChart, DegenerateRangesDoNotCrash) {
+  AsciiChart chart(20, 5);
+  chart.add_series("flat", {{1, 5}, {2, 5}, {3, 5}});  // zero y-range
+  EXPECT_FALSE(chart.render().empty());
+  AsciiChart vertical(20, 5);
+  vertical.add_series("v", {{1, 1}, {1, 9}});  // zero x-range
+  EXPECT_FALSE(vertical.render().empty());
+}
+
+}  // namespace
+}  // namespace gridmon::util

@@ -1,0 +1,172 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gridmon::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NamedStreamsAreIndependentAndStable) {
+  Rng root(99);
+  Rng s1 = root.stream("lan.loss");
+  Rng s2 = root.stream("jvm.hydra1");
+  Rng s1_again = Rng(99).stream("lan.loss");
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+  // Re-deriving the same stream from the same root yields the same values.
+  Rng s1_fresh = Rng(99).stream("lan.loss");
+  EXPECT_EQ(s1_fresh.next_u64(), s1_again.next_u64());
+}
+
+TEST(Rng, IndexedStreams) {
+  Rng root(7);
+  Rng g0 = root.stream(std::uint64_t{0});
+  Rng g1 = root.stream(std::uint64_t{1});
+  EXPECT_NE(g0.next_u64(), g1.next_u64());
+}
+
+TEST(Rng, DerivingStreamsDoesNotAdvanceParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.stream("anything");
+  (void)a.stream(std::uint64_t{42});
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBoundsAndCoverage) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = rng.uniform_int(2, 5);
+    ASSERT_GE(x, 2);
+    ASSERT_LE(x, 5);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of 2, 3, 4, 5 appear
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_int(9, 9), 9);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyRoughlyMatches) {
+  Rng rng(9);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GT(rng.lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(HashLabel, StableAndDistinguishing) {
+  EXPECT_EQ(hash_label("abc"), hash_label("abc"));
+  EXPECT_NE(hash_label("abc"), hash_label("abd"));
+  EXPECT_NE(hash_label(""), hash_label("a"));
+}
+
+/// Property: uniform_int over a wide range has roughly uniform buckets.
+class RngUniformityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RngUniformityProperty, BucketsAreBalanced) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  std::vector<int> buckets(10, 0);
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    buckets[static_cast<std::size_t>(rng.uniform_int(0, 9))]++;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.1, 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformityProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace gridmon::util
