@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dbn_routing.dir/bench_ablation_dbn_routing.cpp.o"
+  "CMakeFiles/bench_ablation_dbn_routing.dir/bench_ablation_dbn_routing.cpp.o.d"
+  "bench_ablation_dbn_routing"
+  "bench_ablation_dbn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dbn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

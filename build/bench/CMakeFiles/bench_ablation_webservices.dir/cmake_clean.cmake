@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_webservices.dir/bench_ablation_webservices.cpp.o"
+  "CMakeFiles/bench_ablation_webservices.dir/bench_ablation_webservices.cpp.o.d"
+  "bench_ablation_webservices"
+  "bench_ablation_webservices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_webservices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

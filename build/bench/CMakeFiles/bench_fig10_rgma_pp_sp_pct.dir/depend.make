@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_rgma_pp_sp_pct.
+# This may be replaced when dependencies are built.

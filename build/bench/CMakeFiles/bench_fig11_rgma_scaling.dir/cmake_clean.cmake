@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_rgma_scaling.dir/bench_fig11_rgma_scaling.cpp.o"
+  "CMakeFiles/bench_fig11_rgma_scaling.dir/bench_fig11_rgma_scaling.cpp.o.d"
+  "bench_fig11_rgma_scaling"
+  "bench_fig11_rgma_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_rgma_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_narada_comparison_pct.dir/bench_fig4_narada_comparison_pct.cpp.o"
+  "CMakeFiles/bench_fig4_narada_comparison_pct.dir/bench_fig4_narada_comparison_pct.cpp.o.d"
+  "bench_fig4_narada_comparison_pct"
+  "bench_fig4_narada_comparison_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_narada_comparison_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_narada_comparison_pct.
+# This may be replaced when dependencies are built.

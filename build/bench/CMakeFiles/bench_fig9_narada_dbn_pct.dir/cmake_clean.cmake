@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_narada_dbn_pct.dir/bench_fig9_narada_dbn_pct.cpp.o"
+  "CMakeFiles/bench_fig9_narada_dbn_pct.dir/bench_fig9_narada_dbn_pct.cpp.o.d"
+  "bench_fig9_narada_dbn_pct"
+  "bench_fig9_narada_dbn_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_narada_dbn_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

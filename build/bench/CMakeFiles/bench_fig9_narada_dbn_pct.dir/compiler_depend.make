@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_narada_dbn_pct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_narada_dbn_pct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rgma_warmup_loss.dir/bench_rgma_warmup_loss.cpp.o"
+  "CMakeFiles/bench_rgma_warmup_loss.dir/bench_rgma_warmup_loss.cpp.o.d"
+  "bench_rgma_warmup_loss"
+  "bench_rgma_warmup_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rgma_warmup_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_cli.dir/gridmon_cli.cpp.o"
+  "CMakeFiles/gridmon_cli.dir/gridmon_cli.cpp.o.d"
+  "gridmon_cli"
+  "gridmon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_grid_monitoring.dir/power_grid_monitoring.cpp.o"
+  "CMakeFiles/power_grid_monitoring.dir/power_grid_monitoring.cpp.o.d"
+  "power_grid_monitoring"
+  "power_grid_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_grid_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgma_virtual_db.dir/rgma_virtual_db.cpp.o"
+  "CMakeFiles/rgma_virtual_db.dir/rgma_virtual_db.cpp.o.d"
+  "rgma_virtual_db"
+  "rgma_virtual_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgma_virtual_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

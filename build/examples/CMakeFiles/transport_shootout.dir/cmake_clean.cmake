@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_shootout.dir/transport_shootout.cpp.o"
+  "CMakeFiles/transport_shootout.dir/transport_shootout.cpp.o.d"
+  "transport_shootout"
+  "transport_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

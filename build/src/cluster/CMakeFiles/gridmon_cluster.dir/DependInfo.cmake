@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cpu.cpp" "src/cluster/CMakeFiles/gridmon_cluster.dir/cpu.cpp.o" "gcc" "src/cluster/CMakeFiles/gridmon_cluster.dir/cpu.cpp.o.d"
+  "/root/repo/src/cluster/host.cpp" "src/cluster/CMakeFiles/gridmon_cluster.dir/host.cpp.o" "gcc" "src/cluster/CMakeFiles/gridmon_cluster.dir/host.cpp.o.d"
+  "/root/repo/src/cluster/hydra.cpp" "src/cluster/CMakeFiles/gridmon_cluster.dir/hydra.cpp.o" "gcc" "src/cluster/CMakeFiles/gridmon_cluster.dir/hydra.cpp.o.d"
+  "/root/repo/src/cluster/jvm.cpp" "src/cluster/CMakeFiles/gridmon_cluster.dir/jvm.cpp.o" "gcc" "src/cluster/CMakeFiles/gridmon_cluster.dir/jvm.cpp.o.d"
+  "/root/repo/src/cluster/vmstat.cpp" "src/cluster/CMakeFiles/gridmon_cluster.dir/vmstat.cpp.o" "gcc" "src/cluster/CMakeFiles/gridmon_cluster.dir/vmstat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gridmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_cluster.dir/cpu.cpp.o"
+  "CMakeFiles/gridmon_cluster.dir/cpu.cpp.o.d"
+  "CMakeFiles/gridmon_cluster.dir/host.cpp.o"
+  "CMakeFiles/gridmon_cluster.dir/host.cpp.o.d"
+  "CMakeFiles/gridmon_cluster.dir/hydra.cpp.o"
+  "CMakeFiles/gridmon_cluster.dir/hydra.cpp.o.d"
+  "CMakeFiles/gridmon_cluster.dir/jvm.cpp.o"
+  "CMakeFiles/gridmon_cluster.dir/jvm.cpp.o.d"
+  "CMakeFiles/gridmon_cluster.dir/vmstat.cpp.o"
+  "CMakeFiles/gridmon_cluster.dir/vmstat.cpp.o.d"
+  "libgridmon_cluster.a"
+  "libgridmon_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_core.dir/metrics.cpp.o"
+  "CMakeFiles/gridmon_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/gridmon_core.dir/narada_experiment.cpp.o"
+  "CMakeFiles/gridmon_core.dir/narada_experiment.cpp.o.d"
+  "CMakeFiles/gridmon_core.dir/payloads.cpp.o"
+  "CMakeFiles/gridmon_core.dir/payloads.cpp.o.d"
+  "CMakeFiles/gridmon_core.dir/report.cpp.o"
+  "CMakeFiles/gridmon_core.dir/report.cpp.o.d"
+  "CMakeFiles/gridmon_core.dir/rgma_experiment.cpp.o"
+  "CMakeFiles/gridmon_core.dir/rgma_experiment.cpp.o.d"
+  "CMakeFiles/gridmon_core.dir/scenarios.cpp.o"
+  "CMakeFiles/gridmon_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/gridmon_core.dir/trace.cpp.o"
+  "CMakeFiles/gridmon_core.dir/trace.cpp.o.d"
+  "libgridmon_core.a"
+  "libgridmon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_gma.dir/gma.cpp.o"
+  "CMakeFiles/gridmon_gma.dir/gma.cpp.o.d"
+  "libgridmon_gma.a"
+  "libgridmon_gma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_gma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jms/message.cpp" "src/jms/CMakeFiles/gridmon_jms.dir/message.cpp.o" "gcc" "src/jms/CMakeFiles/gridmon_jms.dir/message.cpp.o.d"
+  "/root/repo/src/jms/selector_eval.cpp" "src/jms/CMakeFiles/gridmon_jms.dir/selector_eval.cpp.o" "gcc" "src/jms/CMakeFiles/gridmon_jms.dir/selector_eval.cpp.o.d"
+  "/root/repo/src/jms/selector_lexer.cpp" "src/jms/CMakeFiles/gridmon_jms.dir/selector_lexer.cpp.o" "gcc" "src/jms/CMakeFiles/gridmon_jms.dir/selector_lexer.cpp.o.d"
+  "/root/repo/src/jms/selector_parser.cpp" "src/jms/CMakeFiles/gridmon_jms.dir/selector_parser.cpp.o" "gcc" "src/jms/CMakeFiles/gridmon_jms.dir/selector_parser.cpp.o.d"
+  "/root/repo/src/jms/value.cpp" "src/jms/CMakeFiles/gridmon_jms.dir/value.cpp.o" "gcc" "src/jms/CMakeFiles/gridmon_jms.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gridmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

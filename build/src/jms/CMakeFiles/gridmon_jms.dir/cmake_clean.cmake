@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_jms.dir/message.cpp.o"
+  "CMakeFiles/gridmon_jms.dir/message.cpp.o.d"
+  "CMakeFiles/gridmon_jms.dir/selector_eval.cpp.o"
+  "CMakeFiles/gridmon_jms.dir/selector_eval.cpp.o.d"
+  "CMakeFiles/gridmon_jms.dir/selector_lexer.cpp.o"
+  "CMakeFiles/gridmon_jms.dir/selector_lexer.cpp.o.d"
+  "CMakeFiles/gridmon_jms.dir/selector_parser.cpp.o"
+  "CMakeFiles/gridmon_jms.dir/selector_parser.cpp.o.d"
+  "CMakeFiles/gridmon_jms.dir/value.cpp.o"
+  "CMakeFiles/gridmon_jms.dir/value.cpp.o.d"
+  "libgridmon_jms.a"
+  "libgridmon_jms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_jms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/narada/bnm.cpp" "src/narada/CMakeFiles/gridmon_narada.dir/bnm.cpp.o" "gcc" "src/narada/CMakeFiles/gridmon_narada.dir/bnm.cpp.o.d"
+  "/root/repo/src/narada/broker.cpp" "src/narada/CMakeFiles/gridmon_narada.dir/broker.cpp.o" "gcc" "src/narada/CMakeFiles/gridmon_narada.dir/broker.cpp.o.d"
+  "/root/repo/src/narada/client.cpp" "src/narada/CMakeFiles/gridmon_narada.dir/client.cpp.o" "gcc" "src/narada/CMakeFiles/gridmon_narada.dir/client.cpp.o.d"
+  "/root/repo/src/narada/dbn.cpp" "src/narada/CMakeFiles/gridmon_narada.dir/dbn.cpp.o" "gcc" "src/narada/CMakeFiles/gridmon_narada.dir/dbn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jms/CMakeFiles/gridmon_jms.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gridmon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

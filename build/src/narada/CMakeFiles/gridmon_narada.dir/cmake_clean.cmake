@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_narada.dir/bnm.cpp.o"
+  "CMakeFiles/gridmon_narada.dir/bnm.cpp.o.d"
+  "CMakeFiles/gridmon_narada.dir/broker.cpp.o"
+  "CMakeFiles/gridmon_narada.dir/broker.cpp.o.d"
+  "CMakeFiles/gridmon_narada.dir/client.cpp.o"
+  "CMakeFiles/gridmon_narada.dir/client.cpp.o.d"
+  "CMakeFiles/gridmon_narada.dir/dbn.cpp.o"
+  "CMakeFiles/gridmon_narada.dir/dbn.cpp.o.d"
+  "libgridmon_narada.a"
+  "libgridmon_narada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_narada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

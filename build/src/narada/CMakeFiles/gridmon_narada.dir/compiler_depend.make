@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gridmon_narada.
+# This may be replaced when dependencies are built.

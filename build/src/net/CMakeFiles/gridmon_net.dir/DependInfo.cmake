@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/gridmon_net.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/gridmon_net.dir/http.cpp.o.d"
+  "/root/repo/src/net/lan.cpp" "src/net/CMakeFiles/gridmon_net.dir/lan.cpp.o" "gcc" "src/net/CMakeFiles/gridmon_net.dir/lan.cpp.o.d"
+  "/root/repo/src/net/stream.cpp" "src/net/CMakeFiles/gridmon_net.dir/stream.cpp.o" "gcc" "src/net/CMakeFiles/gridmon_net.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gridmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

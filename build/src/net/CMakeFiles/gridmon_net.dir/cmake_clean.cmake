@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_net.dir/http.cpp.o"
+  "CMakeFiles/gridmon_net.dir/http.cpp.o.d"
+  "CMakeFiles/gridmon_net.dir/lan.cpp.o"
+  "CMakeFiles/gridmon_net.dir/lan.cpp.o.d"
+  "CMakeFiles/gridmon_net.dir/stream.cpp.o"
+  "CMakeFiles/gridmon_net.dir/stream.cpp.o.d"
+  "libgridmon_net.a"
+  "libgridmon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridmon_net.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rgma/api.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/api.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/api.cpp.o.d"
+  "/root/repo/src/rgma/consumer_service.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/consumer_service.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/consumer_service.cpp.o.d"
+  "/root/repo/src/rgma/network.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/network.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/network.cpp.o.d"
+  "/root/repo/src/rgma/producer_service.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/producer_service.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/producer_service.cpp.o.d"
+  "/root/repo/src/rgma/registry_service.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/registry_service.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/registry_service.cpp.o.d"
+  "/root/repo/src/rgma/schema.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/schema.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/schema.cpp.o.d"
+  "/root/repo/src/rgma/secondary_producer.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/secondary_producer.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/secondary_producer.cpp.o.d"
+  "/root/repo/src/rgma/sql_eval.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/sql_eval.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/sql_eval.cpp.o.d"
+  "/root/repo/src/rgma/sql_parser.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/sql_parser.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/sql_parser.cpp.o.d"
+  "/root/repo/src/rgma/sql_value.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/sql_value.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/sql_value.cpp.o.d"
+  "/root/repo/src/rgma/storage.cpp" "src/rgma/CMakeFiles/gridmon_rgma.dir/storage.cpp.o" "gcc" "src/rgma/CMakeFiles/gridmon_rgma.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/gridmon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

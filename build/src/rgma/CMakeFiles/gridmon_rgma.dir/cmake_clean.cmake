@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_rgma.dir/api.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/api.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/consumer_service.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/consumer_service.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/network.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/network.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/producer_service.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/producer_service.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/registry_service.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/registry_service.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/schema.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/schema.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/secondary_producer.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/secondary_producer.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/sql_eval.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/sql_eval.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/sql_parser.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/sql_parser.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/sql_value.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/sql_value.cpp.o.d"
+  "CMakeFiles/gridmon_rgma.dir/storage.cpp.o"
+  "CMakeFiles/gridmon_rgma.dir/storage.cpp.o.d"
+  "libgridmon_rgma.a"
+  "libgridmon_rgma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_rgma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

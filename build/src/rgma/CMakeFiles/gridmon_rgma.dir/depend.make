@@ -1,0 +1,2 @@
+# Empty dependencies file for gridmon_rgma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_sim.dir/simulation.cpp.o"
+  "CMakeFiles/gridmon_sim.dir/simulation.cpp.o.d"
+  "libgridmon_sim.a"
+  "libgridmon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

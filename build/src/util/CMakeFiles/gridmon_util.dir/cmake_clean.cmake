@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmon_util.dir/chart.cpp.o"
+  "CMakeFiles/gridmon_util.dir/chart.cpp.o.d"
+  "CMakeFiles/gridmon_util.dir/log.cpp.o"
+  "CMakeFiles/gridmon_util.dir/log.cpp.o.d"
+  "CMakeFiles/gridmon_util.dir/stats.cpp.o"
+  "CMakeFiles/gridmon_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gridmon_util.dir/table.cpp.o"
+  "CMakeFiles/gridmon_util.dir/table.cpp.o.d"
+  "libgridmon_util.a"
+  "libgridmon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

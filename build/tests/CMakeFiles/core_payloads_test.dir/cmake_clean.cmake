@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_payloads_test.dir/core_payloads_test.cpp.o"
+  "CMakeFiles/core_payloads_test.dir/core_payloads_test.cpp.o.d"
+  "core_payloads_test"
+  "core_payloads_test.pdb"
+  "core_payloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_payloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

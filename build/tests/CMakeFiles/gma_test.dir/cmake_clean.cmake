@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gma_test.dir/gma_test.cpp.o"
+  "CMakeFiles/gma_test.dir/gma_test.cpp.o.d"
+  "gma_test"
+  "gma_test.pdb"
+  "gma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

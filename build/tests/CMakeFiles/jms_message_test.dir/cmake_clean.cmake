@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_message_test.dir/jms_message_test.cpp.o"
+  "CMakeFiles/jms_message_test.dir/jms_message_test.cpp.o.d"
+  "jms_message_test"
+  "jms_message_test.pdb"
+  "jms_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_selector_test.dir/jms_selector_test.cpp.o"
+  "CMakeFiles/jms_selector_test.dir/jms_selector_test.cpp.o.d"
+  "jms_selector_test"
+  "jms_selector_test.pdb"
+  "jms_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

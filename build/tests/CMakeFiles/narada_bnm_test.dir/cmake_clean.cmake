@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_bnm_test.dir/narada_bnm_test.cpp.o"
+  "CMakeFiles/narada_bnm_test.dir/narada_bnm_test.cpp.o.d"
+  "narada_bnm_test"
+  "narada_bnm_test.pdb"
+  "narada_bnm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_bnm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_broker_test.dir/narada_broker_test.cpp.o"
+  "CMakeFiles/narada_broker_test.dir/narada_broker_test.cpp.o.d"
+  "narada_broker_test"
+  "narada_broker_test.pdb"
+  "narada_broker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_client_test.dir/narada_client_test.cpp.o"
+  "CMakeFiles/narada_client_test.dir/narada_client_test.cpp.o.d"
+  "narada_client_test"
+  "narada_client_test.pdb"
+  "narada_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_dbn_test.dir/narada_dbn_test.cpp.o"
+  "CMakeFiles/narada_dbn_test.dir/narada_dbn_test.cpp.o.d"
+  "narada_dbn_test"
+  "narada_dbn_test.pdb"
+  "narada_dbn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_dbn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

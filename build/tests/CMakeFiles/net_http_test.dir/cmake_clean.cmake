@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_http_test.dir/net_http_test.cpp.o"
+  "CMakeFiles/net_http_test.dir/net_http_test.cpp.o.d"
+  "net_http_test"
+  "net_http_test.pdb"
+  "net_http_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_stream_test.dir/net_stream_test.cpp.o"
+  "CMakeFiles/net_stream_test.dir/net_stream_test.cpp.o.d"
+  "net_stream_test"
+  "net_stream_test.pdb"
+  "net_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gridmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gma/CMakeFiles/gridmon_gma.dir/DependInfo.cmake"
+  "/root/repo/build/src/narada/CMakeFiles/gridmon_narada.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgma/CMakeFiles/gridmon_rgma.dir/DependInfo.cmake"
+  "/root/repo/build/src/jms/CMakeFiles/gridmon_jms.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gridmon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

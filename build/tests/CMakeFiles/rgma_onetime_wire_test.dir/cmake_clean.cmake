@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgma_onetime_wire_test.dir/rgma_onetime_wire_test.cpp.o"
+  "CMakeFiles/rgma_onetime_wire_test.dir/rgma_onetime_wire_test.cpp.o.d"
+  "rgma_onetime_wire_test"
+  "rgma_onetime_wire_test.pdb"
+  "rgma_onetime_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgma_onetime_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

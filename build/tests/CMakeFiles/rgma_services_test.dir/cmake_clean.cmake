@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgma_services_test.dir/rgma_services_test.cpp.o"
+  "CMakeFiles/rgma_services_test.dir/rgma_services_test.cpp.o.d"
+  "rgma_services_test"
+  "rgma_services_test.pdb"
+  "rgma_services_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgma_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

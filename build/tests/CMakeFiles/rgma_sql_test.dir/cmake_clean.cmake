@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgma_sql_test.dir/rgma_sql_test.cpp.o"
+  "CMakeFiles/rgma_sql_test.dir/rgma_sql_test.cpp.o.d"
+  "rgma_sql_test"
+  "rgma_sql_test.pdb"
+  "rgma_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgma_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgma_storage_test.dir/rgma_storage_test.cpp.o"
+  "CMakeFiles/rgma_storage_test.dir/rgma_storage_test.cpp.o.d"
+  "rgma_storage_test"
+  "rgma_storage_test.pdb"
+  "rgma_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgma_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softstate_trace_test.dir/softstate_trace_test.cpp.o"
+  "CMakeFiles/softstate_trace_test.dir/softstate_trace_test.cpp.o.d"
+  "softstate_trace_test"
+  "softstate_trace_test.pdb"
+  "softstate_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softstate_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
