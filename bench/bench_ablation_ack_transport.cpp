@@ -7,51 +7,35 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 struct Cell {
-  narada::TransportKind transport;
-  jms::AcknowledgeMode ack;
-  Repetitions reps;
+  const char* transport;  // lower-case, as in the registry id
+  const char* ack;        // "auto" or "client"
+  [[nodiscard]] std::string id() const {
+    return std::string("narada/matrix/") + transport + "/" + ack;
+  }
 };
 
-std::vector<Cell> g_cells;
+const std::vector<Cell> kCells = {
+    {"tcp", "auto"}, {"tcp", "client"}, {"nio", "auto"},
+    {"nio", "client"}, {"udp", "auto"}, {"udp", "client"},
+};
 
-const char* ack_name(jms::AcknowledgeMode ack) {
-  return ack == jms::AcknowledgeMode::kClientAcknowledge ? "CLIENT" : "AUTO";
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  for (auto transport :
-       {narada::TransportKind::kTcp, narada::TransportKind::kNio,
-        narada::TransportKind::kUdp}) {
-    for (auto ack : {jms::AcknowledgeMode::kAutoAcknowledge,
-                     jms::AcknowledgeMode::kClientAcknowledge}) {
-      g_cells.push_back(Cell{transport, ack, {}});
-    }
+  bench::Sweep sweep;
+  for (const auto& cell : kCells) {
+    sweep.add(cell.id(), std::string("ablation_ack/") + upper(cell.transport) +
+                             "/" + upper(cell.ack));
   }
-  for (std::size_t i = 0; i < g_cells.size(); ++i) {
-    const auto& cell = g_cells[i];
-    const std::string name = std::string("ablation_ack/") +
-                             narada::to_string(cell.transport) + "/" +
-                             ack_name(cell.ack);
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [i](benchmark::State& state) {
-          auto& c = g_cells[i];
-          auto config = core::scenarios::narada_single(800);
-          config.transport = c.transport;
-          config.ack_mode = c.ack;
-          c.reps = bench::run_repeated(state, config,
-                                       core::run_narada_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
-  }
+  sweep.run_and_register();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -60,9 +44,9 @@ int main(int argc, char** argv) {
       "Ablation", "transport x acknowledgement mode at 800 connections");
   util::TextTable table(
       {"transport", "ack mode", "RTT (ms)", "STDDEV (ms)", "loss (%)"});
-  for (const auto& cell : g_cells) {
-    const auto pooled = cell.reps.pooled();
-    table.add_row({narada::to_string(cell.transport), ack_name(cell.ack),
+  for (const auto& cell : kCells) {
+    const auto pooled = sweep.pooled(cell.id());
+    table.add_row({upper(cell.transport), upper(cell.ack),
                    util::TextTable::format(pooled.metrics.rtt_mean_ms()),
                    util::TextTable::format(pooled.metrics.rtt_stddev_ms()),
                    util::TextTable::format(pooled.metrics.loss_rate() * 100.0,

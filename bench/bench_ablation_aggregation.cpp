@@ -7,123 +7,46 @@
 // bench drives one high-rate publisher (1,000 msg/s — a gateway
 // concentrating many generators) through a single broker and sweeps the
 // aggregation factor: per-message broker overhead is amortised, at the
-// price of batching delay.
+// price of batching delay. The topology lives in the scenario registry as
+// ablation/aggregation/<batch>.
 #include "bench_common.hpp"
-#include "cluster/hydra.hpp"
-#include "narada/client.hpp"
-#include "narada/dbn.hpp"
-#include "core/payloads.hpp"
 
 namespace {
 
-using namespace gridmon;
-
-struct AggregationResult {
-  double rtt_ms = 0;
-  double p99_ms = 0;
-  double broker_busy_pct = 0;
-  std::uint64_t received = 0;
-};
-
-AggregationResult run_aggregation(int batch_size, std::uint64_t seed) {
-  cluster::HydraConfig hydra_config;
-  hydra_config.seed = seed;
-  cluster::Hydra hydra(hydra_config);
-
-  narada::DbnConfig dbn_config;
-  dbn_config.broker_hosts = {0};
-  narada::Dbn dbn(hydra, dbn_config);
-  dbn.start();
-
-  util::SampleSet rtt;
-  auto subscriber = narada::NaradaClient::create(
-      hydra.host(1), hydra.lan(), hydra.streams(), dbn.broker_endpoint(0),
-      net::Endpoint{1, 9000}, narada::TransportKind::kTcp);
-  subscriber->connect([&](bool ok) {
-    if (!ok) return;
-    subscriber->subscribe("powergrid/monitoring", "",
-                          jms::AcknowledgeMode::kAutoAcknowledge,
-                          [&](const jms::MessagePtr& message, SimTime) {
-                            rtt.add(units::to_millis(hydra.sim().now() -
-                                                     message->timestamp));
-                          });
-  });
-
-  auto publisher = narada::NaradaClient::create(
-      hydra.host(2), hydra.lan(), hydra.streams(), dbn.broker_endpoint(0),
-      net::Endpoint{2, 9001}, narada::TransportKind::kTcp);
-  publisher->enable_aggregation(batch_size, units::milliseconds(20));
-  auto rng = hydra.sim().rng_stream("aggregation");
-
-  constexpr SimTime kPeriod = units::microseconds(1000);  // 1,000 msg/s
-  constexpr SimTime kRunFor = units::seconds(120);
-  publisher->connect([&](bool ok) {
-    if (!ok) return;
-    // A gateway concentrating many generators: one message per millisecond.
-    auto* timer = new sim::PeriodicTimer(
-        hydra.sim(), hydra.sim().now() + kPeriod, kPeriod, [&, n = 0]() mutable {
-          publisher->publish(core::make_generator_message(
-              "powergrid/monitoring", n % 1000, n, 2, rng));
-          ++n;
-        });
-    hydra.sim().schedule_after(kRunFor, [timer] {
-      timer->cancel();
-      delete timer;
-    });
-  });
-
-  const SimTime busy_before = hydra.host(0).cpu().busy_time();
-  hydra.sim().run_until(kRunFor + units::seconds(10));
-  const SimTime busy = hydra.host(0).cpu().busy_time() - busy_before;
-
-  AggregationResult result;
-  result.rtt_ms = rtt.mean();
-  result.p99_ms = rtt.quantile(0.99);
-  result.broker_busy_pct =
-      100.0 * static_cast<double>(busy) / static_cast<double>(kRunFor);
-  result.received = rtt.count();
-  return result;
-}
-
 const std::vector<int> kBatchSizes = {1, 2, 4, 8, 16, 32};
-std::vector<AggregationResult> g_results;
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_results.resize(kBatchSizes.size());
-  for (std::size_t i = 0; i < kBatchSizes.size(); ++i) {
-    benchmark::RegisterBenchmark(
-        ("ablation_aggregation/batch/" + std::to_string(kBatchSizes[i]))
-            .c_str(),
-        [i](benchmark::State& state) {
-          for (auto _ : state) {
-            g_results[i] = run_aggregation(kBatchSizes[i], 1);
-          }
-          state.counters["rtt_ms"] = g_results[i].rtt_ms;
-          state.counters["broker_busy_pct"] = g_results[i].broker_busy_pct;
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kSecond);
+  using namespace gridmon;
+
+  bench::Sweep sweep;
+  for (int batch : kBatchSizes) {
+    sweep.add("ablation/aggregation/" + std::to_string(batch),
+              "ablation_aggregation/batch/" + std::to_string(batch));
   }
+  sweep.run_and_register();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  gridmon::bench::print_figure_header(
+  bench::print_figure_header(
       "Ablation",
       "sender-side message aggregation at 1,000 msg/s through one broker");
   util::TextTable table({"aggregation", "RTT (ms)", "p99 (ms)",
                          "broker CPU busy (%)", "received"});
-  for (std::size_t i = 0; i < kBatchSizes.size(); ++i) {
-    const auto& r = g_results[i];
-    table.add_row({std::to_string(kBatchSizes[i]),
-                   util::TextTable::format(r.rtt_ms),
-                   util::TextTable::format(r.p99_ms),
-                   util::TextTable::format(r.broker_busy_pct, 1),
-                   std::to_string(r.received)});
+  for (int batch : kBatchSizes) {
+    const auto pooled =
+        sweep.pooled("ablation/aggregation/" + std::to_string(batch));
+    table.add_row(
+        {std::to_string(batch),
+         util::TextTable::format(pooled.metrics.rtt_mean_ms()),
+         util::TextTable::format(pooled.metrics.rtt_percentile_ms(99)),
+         util::TextTable::format(100.0 - pooled.servers.cpu_idle_pct, 1),
+         std::to_string(pooled.metrics.received())});
   }
-  gridmon::bench::print_table(table);
+  bench::print_table(table);
   std::printf(
       "Expectation (RMM): broker CPU falls sharply with aggregation (the "
       "per-message\noverhead dominates), while RTT first falls (queueing "

@@ -12,43 +12,38 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 struct Point {
   int connections;
   bool fixed_routing;
-  Repetitions reps;
+  [[nodiscard]] std::string id() const {
+    return std::string(fixed_routing ? "narada/dbn_routed/" : "narada/dbn/") +
+           std::to_string(connections);
+  }
 };
 
-std::vector<Point> g_points;
+std::vector<Point> points() {
+  std::vector<Point> out;
+  for (int n : {2000, 3000, 4000}) {
+    out.push_back({n, false});
+    out.push_back({n, true});
+  }
+  return out;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  for (int n : {2000, 3000, 4000}) {
-    g_points.push_back(Point{n, false, {}});
-    g_points.push_back(Point{n, true, {}});
+  const auto all = points();
+  bench::Sweep sweep;
+  for (const auto& point : all) {
+    sweep.add(point.id(),
+              std::string("ablation_dbn/") +
+                  (point.fixed_routing ? "routed/" : "broadcast/") +
+                  std::to_string(point.connections));
   }
-  for (std::size_t i = 0; i < g_points.size(); ++i) {
-    const auto& point = g_points[i];
-    const std::string name =
-        std::string("ablation_dbn/") +
-        (point.fixed_routing ? "routed/" : "broadcast/") +
-        std::to_string(point.connections);
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [i](benchmark::State& state) {
-          auto& p = g_points[i];
-          auto config = core::scenarios::narada_dbn(p.connections);
-          config.subscription_aware_routing = p.fixed_routing;
-          p.reps = bench::run_repeated(state, config,
-                                       core::run_narada_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
-  }
+  sweep.run_and_register();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -57,8 +52,8 @@ int main(int argc, char** argv) {
       "Ablation", "DBN broadcast deficiency vs subscription-aware routing");
   util::TextTable table({"routing", "connections", "RTT (ms)", "STDDEV (ms)",
                          "events forwarded", "CPU idle (%)"});
-  for (const auto& point : g_points) {
-    const auto pooled = point.reps.pooled();
+  for (const auto& point : all) {
+    const auto pooled = sweep.pooled(point.id());
     table.add_row({point.fixed_routing ? "subscription-aware" : "broadcast",
                    std::to_string(point.connections),
                    util::TextTable::format(pooled.metrics.rtt_mean_ms()),

@@ -9,68 +9,34 @@
 
 namespace {
 
-using namespace gridmon;
-using bench::Repetitions;
+struct Variant {
+  const char* label;
+  const char* id;
+};
 
-Repetitions g_narada_nonpersistent;
-Repetitions g_narada_persistent;
-Repetitions g_rgma_http;
-Repetitions g_rgma_https;
-Repetitions g_rgma_legacy;
+const std::vector<Variant> kVariants = {
+    {"Narada 800, non-persistent (paper)", "narada/single/800"},
+    {"Narada 800, persistent delivery", "narada/persistent/800"},
+    {"R-GMA 200, HTTP (paper)", "rgma/single/200"},
+    {"R-GMA 200, HTTPS (\"encryption overhead\")", "rgma/https/200"},
+    {"R-GMA 200, legacy StreamProducer path ([11])", "rgma/legacy/200"},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
+  using namespace gridmon;
 
-  benchmark::RegisterBenchmark(
-      "ablation_delivery/narada/non_persistent",
-      [](benchmark::State& state) {
-        g_narada_nonpersistent = bench::run_repeated(
-            state, core::scenarios::narada_single(800),
-            core::run_narada_experiment);
-      })
-      ->UseManualTime()->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
-  benchmark::RegisterBenchmark(
-      "ablation_delivery/narada/persistent",
-      [](benchmark::State& state) {
-        auto config = core::scenarios::narada_single(800);
-        config.delivery_mode = jms::DeliveryMode::kPersistent;
-        g_narada_persistent = bench::run_repeated(
-            state, config, core::run_narada_experiment);
-      })
-      ->UseManualTime()->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
-  benchmark::RegisterBenchmark(
-      "ablation_delivery/rgma/http",
-      [](benchmark::State& state) {
-        g_rgma_http = bench::run_repeated(state,
-                                          core::scenarios::rgma_single(200),
-                                          core::run_rgma_experiment);
-      })
-      ->UseManualTime()->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
-  benchmark::RegisterBenchmark(
-      "ablation_delivery/rgma/https",
-      [](benchmark::State& state) {
-        auto config = core::scenarios::rgma_single(200);
-        config.secure = true;
-        g_rgma_https =
-            bench::run_repeated(state, config, core::run_rgma_experiment);
-      })
-      ->UseManualTime()->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
-  benchmark::RegisterBenchmark(
-      "ablation_delivery/rgma/legacy_stream_api",
-      [](benchmark::State& state) {
-        auto config = core::scenarios::rgma_single(200);
-        config.legacy_stream_api = true;
-        g_rgma_legacy =
-            bench::run_repeated(state, config, core::run_rgma_experiment);
-      })
-      ->UseManualTime()->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
+  bench::Sweep sweep;
+  const char* names[] = {"ablation_delivery/narada/non_persistent",
+                         "ablation_delivery/narada/persistent",
+                         "ablation_delivery/rgma/http",
+                         "ablation_delivery/rgma/https",
+                         "ablation_delivery/rgma/legacy_stream_api"};
+  for (std::size_t i = 0; i < kVariants.size(); ++i) {
+    sweep.add(kVariants[i].id, names[i]);
+  }
+  sweep.run_and_register();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -80,18 +46,13 @@ int main(int argc, char** argv) {
       "Ablation", "delivery-quality knobs the paper held fixed");
   util::TextTable table({"variant", "RTT (ms)", "STDDEV (ms)",
                          "CPU idle (%)"});
-  auto row = [&](const char* label, const Repetitions& reps) {
-    const auto pooled = reps.pooled();
-    table.add_row({label,
+  for (const auto& variant : kVariants) {
+    const auto pooled = sweep.pooled(variant.id);
+    table.add_row({variant.label,
                    util::TextTable::format(pooled.metrics.rtt_mean_ms()),
                    util::TextTable::format(pooled.metrics.rtt_stddev_ms()),
                    util::TextTable::format(pooled.servers.cpu_idle_pct, 1)});
-  };
-  row("Narada 800, non-persistent (paper)", g_narada_nonpersistent);
-  row("Narada 800, persistent delivery", g_narada_persistent);
-  row("R-GMA 200, HTTP (paper)", g_rgma_http);
-  row("R-GMA 200, HTTPS (\"encryption overhead\")", g_rgma_https);
-  row("R-GMA 200, legacy StreamProducer path ([11])", g_rgma_legacy);
+  }
   bench::print_table(table);
   std::printf(
       "Expectations: persistence adds a per-event stable-storage write "

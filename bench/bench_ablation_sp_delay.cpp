@@ -9,29 +9,19 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 const std::vector<int> kDelaysSeconds = {0, 5, 15, 30};
-std::vector<Repetitions> g_results;
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  g_results.resize(kDelaysSeconds.size());
-  for (std::size_t i = 0; i < kDelaysSeconds.size(); ++i) {
-    benchmark::RegisterBenchmark(
-        ("ablation_sp/delay_s/" + std::to_string(kDelaysSeconds[i])).c_str(),
-        [i](benchmark::State& state) {
-          auto config = core::scenarios::rgma_with_secondary(100);
-          config.secondary_delay = units::seconds(kDelaysSeconds[i]);
-          g_results[i] = bench::run_repeated(state, config,
-                                             core::run_rgma_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
+  bench::Sweep sweep;
+  for (int delay : kDelaysSeconds) {
+    sweep.add("rgma/secondary_delay/" + std::to_string(delay),
+              "ablation_sp/delay_s/" + std::to_string(delay));
   }
+  sweep.run_and_register();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -41,10 +31,11 @@ int main(int argc, char** argv) {
                   "(100 connections)");
   util::TextTable table({"deliberate delay (s)", "RTT (s)", "95% (s)",
                          "100% (s)"});
-  for (std::size_t i = 0; i < kDelaysSeconds.size(); ++i) {
-    const auto pooled = g_results[i].pooled();
+  for (int delay : kDelaysSeconds) {
+    const auto pooled =
+        sweep.pooled("rgma/secondary_delay/" + std::to_string(delay));
     table.add_row(
-        {std::to_string(kDelaysSeconds[i]),
+        {std::to_string(delay),
          util::TextTable::format(pooled.metrics.rtt_mean_ms() / 1000.0, 1),
          util::TextTable::format(pooled.metrics.rtt_percentile_ms(95) / 1000.0,
                                  1),

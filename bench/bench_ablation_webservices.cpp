@@ -4,115 +4,43 @@
 // scientific computing. The serialization and de-serialization of XML and
 // floating point value/ASCII conversion are the bottlenecks." This bench
 // quantifies the rejection: the same monitoring stream once over binary JMS
-// and once through WS proxies that SOAP-encode every message.
+// and once through WS proxies that SOAP-encode every message. The two data
+// paths live in the scenario registry as ablation/webservices/{binary,soap}.
 #include "bench_common.hpp"
-#include "cluster/hydra.hpp"
-#include "core/payloads.hpp"
-#include "gma/webservices.hpp"
-#include "narada/dbn.hpp"
-
-namespace {
-
-using namespace gridmon;
-
-struct WsResult {
-  double rtt_ms = 0;
-  double p99_ms = 0;
-  std::int64_t wire_bytes = 0;
-};
-
-WsResult run(bool soap, int rate_hz, std::uint64_t seed) {
-  cluster::Hydra hydra(cluster::HydraConfig{.seed = seed});
-  narada::DbnConfig config;
-  config.broker_hosts = {0};
-  narada::Dbn dbn(hydra, config);
-  dbn.start();
-
-  util::SampleSet rtt;
-  auto sub_client = narada::NaradaClient::create(
-      hydra.host(1), hydra.lan(), hydra.streams(), dbn.broker_endpoint(0),
-      net::Endpoint{1, 9000}, narada::TransportKind::kTcp);
-  auto pub_client = narada::NaradaClient::create(
-      hydra.host(2), hydra.lan(), hydra.streams(), dbn.broker_endpoint(0),
-      net::Endpoint{2, 9001}, narada::TransportKind::kTcp);
-  gma::WsProxyPublisher ws_pub(hydra.host(2), pub_client);
-  gma::WsProxySubscriber ws_sub(hydra.host(1), sub_client);
-
-  auto listener = [&](const jms::MessagePtr& msg, SimTime) {
-    rtt.add(units::to_millis(hydra.sim().now() - msg->timestamp));
-  };
-  sub_client->connect([&](bool) {
-    if (soap) {
-      ws_sub.subscribe("t", "", listener);
-    } else {
-      sub_client->subscribe("t", "", jms::AcknowledgeMode::kAutoAcknowledge,
-                            listener);
-    }
-  });
-
-  auto rng = hydra.sim().rng_stream("ws");
-  const SimTime period = units::seconds(1) / rate_hz;
-  constexpr SimTime kRunFor = units::seconds(120);
-  pub_client->connect([&](bool) {
-    auto* timer = new sim::PeriodicTimer(
-        hydra.sim(), hydra.sim().now() + period, period, [&, n = 0]() mutable {
-          jms::Message msg =
-              core::make_generator_message("t", n % 100, n, 2, rng);
-          if (soap) {
-            ws_pub.publish(std::move(msg));
-          } else {
-            pub_client->publish(std::move(msg));
-          }
-          ++n;
-        });
-    hydra.sim().schedule_after(kRunFor, [timer] {
-      timer->cancel();
-      delete timer;
-    });
-  });
-
-  hydra.sim().run_until(kRunFor + units::seconds(10));
-  WsResult result;
-  result.rtt_ms = rtt.mean();
-  result.p99_ms = rtt.quantile(0.99);
-  result.wire_bytes = hydra.lan().bytes_to_node(0);
-  return result;
-}
-
-WsResult g_binary;
-WsResult g_soap;
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::RegisterBenchmark("ablation_ws/binary", [](benchmark::State& s) {
-    for (auto _ : s) g_binary = run(false, 150, 1);
-    s.counters["rtt_ms"] = g_binary.rtt_ms;
-  })->Iterations(1)->Unit(benchmark::kSecond);
-  benchmark::RegisterBenchmark("ablation_ws/soap", [](benchmark::State& s) {
-    for (auto _ : s) g_soap = run(true, 150, 1);
-    s.counters["rtt_ms"] = g_soap.rtt_ms;
-  })->Iterations(1)->Unit(benchmark::kSecond);
+  using namespace gridmon;
+
+  bench::Sweep sweep;
+  sweep.add("ablation/webservices/binary", "ablation_ws/binary");
+  sweep.add("ablation/webservices/soap", "ablation_ws/soap");
+  sweep.run_and_register();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  gridmon::bench::print_figure_header(
+  const auto binary = sweep.pooled("ablation/webservices/binary");
+  const auto soap = sweep.pooled("ablation/webservices/soap");
+
+  bench::print_figure_header(
       "Ablation (§III.D)", "binary JMS vs SOAP-proxied Web Services data "
                           "path, 150 msg/s");
   util::TextTable table(
       {"encoding", "RTT (ms)", "p99 (ms)", "bytes into broker"});
-  table.add_row({"binary JMS", util::TextTable::format(g_binary.rtt_ms),
-                 util::TextTable::format(g_binary.p99_ms),
-                 std::to_string(g_binary.wire_bytes)});
-  table.add_row({"SOAP (WS proxy)", util::TextTable::format(g_soap.rtt_ms),
-                 util::TextTable::format(g_soap.p99_ms),
-                 std::to_string(g_soap.wire_bytes)});
-  gridmon::bench::print_table(table);
+  table.add_row(
+      {"binary JMS", util::TextTable::format(binary.metrics.rtt_mean_ms()),
+       util::TextTable::format(binary.metrics.rtt_percentile_ms(99)),
+       std::to_string(binary.wire_bytes)});
+  table.add_row(
+      {"SOAP (WS proxy)", util::TextTable::format(soap.metrics.rtt_mean_ms()),
+       util::TextTable::format(soap.metrics.rtt_percentile_ms(99)),
+       std::to_string(soap.wire_bytes)});
+  bench::print_table(table);
   std::printf(
       "Expectation: SOAP multiplies both wire bytes (XML inflation) and RTT "
       "(codec\nCPU) — the quantified version of the paper's \"Why not Web "
       "Services\".\n");
-  return g_soap.rtt_ms > 2.0 * g_binary.rtt_ms ? 0 : 1;
+  return soap.metrics.rtt_mean_ms() > 2.0 * binary.metrics.rtt_mean_ms() ? 0
+                                                                         : 1;
 }

@@ -1,27 +1,32 @@
 // Shared benchmark plumbing.
 //
-// Every bench binary regenerates one of the paper's tables or figures: it
-// runs the corresponding experiment campaign once per configuration (under
-// google-benchmark with manual timing), then prints the same rows/series
-// the paper plots, plus a CSV block for replotting.
+// Every bench binary regenerates one of the paper's tables or figures. A
+// binary declares a Sweep — the scenario ids it needs from the process-wide
+// registry (core/registry.hpp) — and the sweep runs them once through the
+// CampaignRunner, fanning (scenario x seed) runs over a worker pool. The
+// recorded per-run wall times are then replayed into google-benchmark (one
+// manually-timed entry per scenario) so reporting stays per-scenario while
+// execution uses every core.
 //
 // Environment knobs:
 //   GRIDMON_BENCH_MINUTES  virtual minutes per test (default 30, the paper's
 //                          setting; set lower for a quick look)
 //   GRIDMON_BENCH_SEEDS    repetitions with different seeds (default 2, the
 //                          paper ran every test twice)
+//   GRIDMON_BENCH_JOBS     worker threads (default: one per hardware thread)
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/experiment.hpp"
+#include "core/campaign.hpp"
+#include "core/registry.hpp"
 #include "core/report.hpp"
 #include "core/scenarios.hpp"
 #include "util/table.hpp"
@@ -44,69 +49,110 @@ inline int bench_seeds() {
   return 2;
 }
 
-/// Merge per-seed repetitions the way the paper aggregates its two runs:
-/// pool all RTT samples, average resources.
-class Repetitions {
+inline int bench_jobs() {
+  if (const char* env = std::getenv("GRIDMON_BENCH_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs > 0) return jobs;
+  }
+  return 0;  // CampaignRunner: one worker per hardware thread
+}
+
+using core::Repetitions;
+
+/// One bench binary's campaign: scenario ids plus the google-benchmark row
+/// names they should appear under.
+class Sweep {
  public:
-  void add(const core::Results& results) { runs_.push_back(results); }
-
-  [[nodiscard]] const std::vector<core::Results>& runs() const { return runs_; }
-
-  /// Pooled results across repetitions.
-  [[nodiscard]] core::Results pooled() const {
-    core::Results out;
-    if (runs_.empty()) return out;
-    double idle = 0.0;
-    std::int64_t mem = 0;
-    for (const auto& run : runs_) {
-      out.metrics.count_sent(run.metrics.sent());
-      for (double rtt : run.metrics.rtt_ms().raw()) {
-        // Re-record with zeroed phases; percentiles/mean come from here.
-        out.metrics.record(0, 0, 0,
-                           static_cast<SimTime>(rtt * 1e6));
-      }
-      idle += run.servers.cpu_idle_pct;
-      mem += run.servers.memory_bytes;
-      out.refused += run.refused;
-      out.events_forwarded += run.events_forwarded;
-      out.completed = out.completed && run.completed;
-    }
-    out.servers.cpu_idle_pct = idle / static_cast<double>(runs_.size());
-    out.servers.memory_bytes = mem / static_cast<std::int64_t>(runs_.size());
-    return out;
+  Sweep() {
+    options_.jobs = bench_jobs();
+    options_.seeds = bench_seeds();
+    options_.duration = units::minutes(bench_minutes());
+    options_.progress = [](int done, int total,
+                           const core::RunRecord& record) {
+      std::fprintf(stderr, "[%3d/%3d] %s seed=%llu (%.1fs)\n", done, total,
+                   record.scenario_id.c_str(),
+                   static_cast<unsigned long long>(record.seed),
+                   record.wall_seconds);
+    };
   }
 
-  /// Decomposition means come from the first run (they are means already).
-  [[nodiscard]] const core::Results& first() const { return runs_.front(); }
+  /// Queue a registry scenario; `name` is the benchmark row (default: id).
+  void add(const std::string& id, std::string name = {}) {
+    const core::ScenarioSpec* spec = core::builtin_registry().find(id);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown scenario id: %s\n", id.c_str());
+      std::exit(2);
+    }
+    add(*spec, std::move(name));
+  }
+
+  /// Queue an ad-hoc spec (must carry a unique id).
+  void add(core::ScenarioSpec spec, std::string name = {}) {
+    entries_.push_back({spec.id, name.empty() ? spec.id : std::move(name)});
+    specs_.push_back(std::move(spec));
+  }
+
+  /// Run the whole campaign (parallel across runs), then register one
+  /// manually-timed google-benchmark entry per scenario replaying the
+  /// recorded wall times. Call before benchmark::Initialize().
+  void run_and_register() {
+    core::CampaignRunner runner(options_);
+    for (auto& spec : specs_) runner.add(std::move(spec));
+    specs_.clear();
+    std::fprintf(stderr,
+                 "campaign: %zu scenarios x %d seed(s), %d virtual min, "
+                 "jobs=%s\n",
+                 entries_.size(), options_.seeds, bench_minutes(),
+                 options_.jobs > 0 ? std::to_string(options_.jobs).c_str()
+                                   : "auto");
+    campaign_.emplace(runner.run());
+    std::fprintf(stderr, "campaign wall-clock: %.1fs\n",
+                 campaign_->wall_seconds());
+
+    for (const auto& entry : entries_) {
+      benchmark::RegisterBenchmark(
+          entry.name.c_str(),
+          [this, id = entry.id](benchmark::State& state) {
+            const auto records = campaign_->records(id);
+            std::size_t i = 0;
+            for (auto _ : state) {
+              state.SetIterationTime(
+                  records[i % records.size()]->wall_seconds);
+              ++i;
+            }
+            const auto pooled = campaign_->pooled(id);
+            state.counters["rtt_ms"] = pooled.metrics.rtt_mean_ms();
+            state.counters["stddev_ms"] = pooled.metrics.rtt_stddev_ms();
+            state.counters["loss_pct"] = pooled.metrics.loss_rate() * 100.0;
+            state.counters["received"] =
+                static_cast<double>(pooled.metrics.received());
+          })
+          ->UseManualTime()
+          ->Iterations(options_.seeds)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+
+  /// All seeds of one scenario pooled (the paper's aggregation).
+  [[nodiscard]] core::Results pooled(const std::string& id) const {
+    return campaign_->pooled(id);
+  }
+  /// The first-seed run (decomposition means are means already).
+  [[nodiscard]] const core::Results& first(const std::string& id) const {
+    return campaign_->records(id).front()->results;
+  }
+  [[nodiscard]] const core::Campaign& campaign() const { return *campaign_; }
 
  private:
-  std::vector<core::Results> runs_;
+  struct Entry {
+    std::string id;
+    std::string name;
+  };
+  core::CampaignOptions options_;
+  std::vector<core::ScenarioSpec> specs_;
+  std::vector<Entry> entries_;
+  std::optional<core::Campaign> campaign_;
 };
-
-/// Run an experiment campaign with per-seed repetition, timing each run as
-/// one manual benchmark iteration.
-template <typename Config>
-Repetitions run_repeated(benchmark::State& state, Config config,
-                         core::Results (*runner)(const Config&)) {
-  Repetitions reps;
-  config.duration = units::minutes(bench_minutes());
-  int seed = 1;
-  for (auto _ : state) {
-    config.seed = static_cast<std::uint64_t>(seed++);
-    const auto begin = std::chrono::steady_clock::now();
-    reps.add(runner(config));
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - begin;
-    state.SetIterationTime(elapsed.count());
-  }
-  const auto pooled = reps.pooled();
-  state.counters["rtt_ms"] = pooled.metrics.rtt_mean_ms();
-  state.counters["stddev_ms"] = pooled.metrics.rtt_stddev_ms();
-  state.counters["loss_pct"] = pooled.metrics.loss_rate() * 100.0;
-  state.counters["received"] =
-      static_cast<double>(pooled.metrics.received());
-  return reps;
-}
 
 inline void print_figure_header(const char* figure, const char* caption) {
   std::printf("\n================================================================\n");

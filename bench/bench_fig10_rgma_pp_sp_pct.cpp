@@ -7,28 +7,19 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 const std::vector<int> kConnections = {50, 100, 200};
-std::vector<Repetitions> g_results;
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  g_results.resize(kConnections.size());
-  for (std::size_t i = 0; i < kConnections.size(); ++i) {
-    benchmark::RegisterBenchmark(
-        ("fig10/pp_sp/" + std::to_string(kConnections[i])).c_str(),
-        [i](benchmark::State& state) {
-          g_results[i] = bench::run_repeated(
-              state, core::scenarios::rgma_with_secondary(kConnections[i]),
-              core::run_rgma_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
+  bench::Sweep sweep;
+  for (int n : kConnections) {
+    sweep.add("rgma/secondary/" + std::to_string(n),
+              "fig10/pp_sp/" + std::to_string(n));
   }
+  sweep.run_and_register();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -38,10 +29,11 @@ int main(int argc, char** argv) {
       "R-GMA Primary + Secondary Producer tests, percentile of RTT (s)");
   util::TextTable table(
       {"connections", "95%", "96%", "97%", "98%", "99%", "100%"});
-  for (std::size_t i = 0; i < kConnections.size(); ++i) {
-    auto row = core::percentile_row(g_results[i].pooled());
+  for (int n : kConnections) {
+    auto row = core::percentile_row(
+        sweep.pooled("rgma/secondary/" + std::to_string(n)));
     for (double& v : row) v /= 1000.0;  // ms → s, the paper's axis
-    table.add_numeric_row(std::to_string(kConnections[i]), row, 1);
+    table.add_numeric_row(std::to_string(n), row, 1);
   }
   bench::print_table(table);
   std::printf(

@@ -11,45 +11,35 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 struct Point {
   int connections;
   bool distributed;
-  Repetitions reps;
+  [[nodiscard]] std::string id() const {
+    return std::string(distributed ? "rgma/distributed/" : "rgma/single/") +
+           std::to_string(connections);
+  }
 };
 
-std::vector<Point> g_points;
+std::vector<Point> points() {
+  std::vector<Point> out;
+  for (int n : {100, 200, 400, 600, 800}) out.push_back({n, false});
+  for (int n : {400, 600, 800, 1000}) out.push_back({n, true});
+  return out;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  for (int n : {100, 200, 400, 600, 800}) {
-    g_points.push_back(Point{n, false, {}});
+  const auto all = points();
+  bench::Sweep sweep;
+  for (const auto& point : all) {
+    sweep.add(point.id(),
+              std::string("fig11/") +
+                  (point.distributed ? "distributed/" : "single/") +
+                  std::to_string(point.connections));
   }
-  for (int n : {400, 600, 800, 1000}) {
-    g_points.push_back(Point{n, true, {}});
-  }
-  for (std::size_t i = 0; i < g_points.size(); ++i) {
-    const auto& point = g_points[i];
-    const std::string name = std::string("fig11/") +
-                             (point.distributed ? "distributed/" : "single/") +
-                             std::to_string(point.connections);
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [i](benchmark::State& state) {
-          auto& p = g_points[i];
-          const auto config =
-              p.distributed ? core::scenarios::rgma_distributed(p.connections)
-                            : core::scenarios::rgma_single(p.connections);
-          p.reps =
-              bench::run_repeated(state, config, core::run_rgma_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
-  }
+  sweep.run_and_register();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -60,8 +50,8 @@ int main(int argc, char** argv) {
       "R-GMA Primary Producer and Consumer: RTT and STDDEV vs connections");
   util::TextTable table({"deployment", "connections", "RTT (ms)",
                          "STDDEV (ms)", "note"});
-  for (const auto& point : g_points) {
-    const auto pooled = point.reps.pooled();
+  for (const auto& point : all) {
+    const auto pooled = sweep.pooled(point.id());
     std::string note;
     if (pooled.refused > 0) {
       note = "OOM: refused " + std::to_string(pooled.refused) +

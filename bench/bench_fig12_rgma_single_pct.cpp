@@ -6,28 +6,19 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 const std::vector<int> kConnections = {100, 200, 400, 600};
-std::vector<Repetitions> g_results;
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  g_results.resize(kConnections.size());
-  for (std::size_t i = 0; i < kConnections.size(); ++i) {
-    benchmark::RegisterBenchmark(
-        ("fig12/single/" + std::to_string(kConnections[i])).c_str(),
-        [i](benchmark::State& state) {
-          g_results[i] = bench::run_repeated(
-              state, core::scenarios::rgma_single(kConnections[i]),
-              core::run_rgma_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
+  bench::Sweep sweep;
+  for (int n : kConnections) {
+    sweep.add("rgma/single/" + std::to_string(n),
+              "fig12/single/" + std::to_string(n));
   }
+  sweep.run_and_register();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -39,11 +30,11 @@ int main(int argc, char** argv) {
   util::TextTable table(
       {"connections", "95%", "96%", "97%", "98%", "99%", "100%",
        "<=4000ms (%)"});
-  for (std::size_t i = 0; i < kConnections.size(); ++i) {
-    const auto pooled = g_results[i].pooled();
+  for (int n : kConnections) {
+    const auto pooled = sweep.pooled("rgma/single/" + std::to_string(n));
     auto row = core::percentile_row(pooled);
     row.push_back(pooled.metrics.rtt_ms().fraction_below(4000.0) * 100.0);
-    table.add_numeric_row(std::to_string(kConnections[i]), row, 0);
+    table.add_numeric_row(std::to_string(n), row, 0);
   }
   bench::print_table(table);
   std::printf("Paper check: 99%% of messages arrived within 4000 ms.\n");

@@ -7,43 +7,36 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 struct Point {
   int connections;
   bool distributed;
-  Repetitions reps;
+  [[nodiscard]] std::string id() const {
+    return std::string(distributed ? "rgma/distributed/" : "rgma/single/") +
+           std::to_string(connections);
+  }
 };
 
-std::vector<Point> g_points;
+std::vector<Point> points() {
+  std::vector<Point> out;
+  for (int n : {100, 200, 400, 600}) out.push_back({n, false});
+  for (int n : {200, 400, 600, 800, 1000}) out.push_back({n, true});
+  return out;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  for (int n : {100, 200, 400, 600}) g_points.push_back(Point{n, false, {}});
-  for (int n : {200, 400, 600, 800, 1000}) {
-    g_points.push_back(Point{n, true, {}});
+  const auto all = points();
+  bench::Sweep sweep;
+  for (const auto& point : all) {
+    sweep.add(point.id(),
+              std::string("fig13/") +
+                  (point.distributed ? "distributed/" : "single/") +
+                  std::to_string(point.connections));
   }
-  for (std::size_t i = 0; i < g_points.size(); ++i) {
-    const auto& point = g_points[i];
-    const std::string name = std::string("fig13/") +
-                             (point.distributed ? "distributed/" : "single/") +
-                             std::to_string(point.connections);
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [i](benchmark::State& state) {
-          auto& p = g_points[i];
-          const auto config =
-              p.distributed ? core::scenarios::rgma_distributed(p.connections)
-                            : core::scenarios::rgma_single(p.connections);
-          p.reps =
-              bench::run_repeated(state, config, core::run_rgma_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
-  }
+  sweep.run_and_register();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -52,8 +45,8 @@ int main(int argc, char** argv) {
       "Fig 13", "R-GMA CPU idle and memory consumption (per server host)");
   util::TextTable table({"deployment", "connections", "CPU idle (%)",
                          "memory (MB)"});
-  for (const auto& point : g_points) {
-    const auto pooled = point.reps.pooled();
+  for (const auto& point : all) {
+    const auto pooled = sweep.pooled(point.id());
     table.add_row(
         {point.distributed ? "distributed (2P+2C)" : "single",
          std::to_string(point.connections),

@@ -6,28 +6,19 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 const std::vector<int> kConnections = {400, 600, 800, 1000};
-std::vector<Repetitions> g_results;
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  g_results.resize(kConnections.size());
-  for (std::size_t i = 0; i < kConnections.size(); ++i) {
-    benchmark::RegisterBenchmark(
-        ("fig14/distributed/" + std::to_string(kConnections[i])).c_str(),
-        [i](benchmark::State& state) {
-          g_results[i] = bench::run_repeated(
-              state, core::scenarios::rgma_distributed(kConnections[i]),
-              core::run_rgma_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
+  bench::Sweep sweep;
+  for (int n : kConnections) {
+    sweep.add("rgma/distributed/" + std::to_string(n),
+              "fig14/distributed/" + std::to_string(n));
   }
+  sweep.run_and_register();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -37,9 +28,12 @@ int main(int argc, char** argv) {
       "R-GMA distributed network tests, percentile of RTT (ms)");
   util::TextTable table(
       {"connections", "95%", "96%", "97%", "98%", "99%", "100%"});
-  for (std::size_t i = 0; i < kConnections.size(); ++i) {
-    table.add_numeric_row(std::to_string(kConnections[i]),
-                          core::percentile_row(g_results[i].pooled()), 0);
+  for (int n : kConnections) {
+    table.add_numeric_row(
+        std::to_string(n),
+        core::percentile_row(
+            sweep.pooled("rgma/distributed/" + std::to_string(n))),
+        0);
   }
   bench::print_table(table);
   return 0;

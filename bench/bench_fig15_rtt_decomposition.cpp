@@ -8,38 +8,13 @@
 // phases are very short.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace gridmon;
-using bench::Repetitions;
-
-Repetitions g_narada;
-Repetitions g_rgma;
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
+  using namespace gridmon;
 
-  benchmark::RegisterBenchmark(
-      "fig15/narada/400",
-      [](benchmark::State& state) {
-        g_narada = bench::run_repeated(state,
-                                       core::scenarios::narada_single(400),
-                                       core::run_narada_experiment);
-      })
-      ->UseManualTime()
-      ->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
-  benchmark::RegisterBenchmark(
-      "fig15/rgma/400",
-      [](benchmark::State& state) {
-        g_rgma = bench::run_repeated(state, core::scenarios::rgma_single(400),
-                                     core::run_rgma_experiment);
-      })
-      ->UseManualTime()
-      ->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
+  bench::Sweep sweep;
+  sweep.add("narada/single/400", "fig15/narada/400");
+  sweep.add("rgma/single/400", "fig15/rgma/400");
+  sweep.run_and_register();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -47,15 +22,16 @@ int main(int argc, char** argv) {
 
   bench::print_figure_header(
       "Fig 15", "RTT decomposition: RTT = PRT + PT + SRT (cumulative ms)");
+  const auto& narada_first = sweep.first("narada/single/400");
+  const auto& rgma_first = sweep.first("rgma/single/400");
   util::TextTable table({"system", "before_sending", "after_sending",
                          "before_receiving", "after_receiving"});
-  table.add_numeric_row("RGMA", core::decomposition_row(g_rgma.first()), 1);
-  table.add_numeric_row("Narada", core::decomposition_row(g_narada.first()),
-                        1);
+  table.add_numeric_row("RGMA", core::decomposition_row(rgma_first), 1);
+  table.add_numeric_row("Narada", core::decomposition_row(narada_first), 1);
   bench::print_table(table);
 
-  const auto& rgma = g_rgma.first().metrics;
-  const auto& narada = g_narada.first().metrics;
+  const auto& rgma = rgma_first.metrics;
+  const auto& narada = narada_first.metrics;
   std::printf("phase means (ms):\n");
   std::printf("  RGMA   PRT=%.1f  PT=%.1f  SRT=%.1f\n", rgma.prt_ms().mean(),
               rgma.pt_ms().mean(), rgma.srt_ms().mean());

@@ -16,32 +16,25 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
-std::vector<core::scenarios::ComparisonTest> g_tests;
-std::vector<Repetitions> g_results;
-
-void run_comparison(benchmark::State& state, std::size_t index) {
-  auto reps = bench::run_repeated(state, g_tests[index].config,
-                                  core::run_narada_experiment);
-  g_results[index] = std::move(reps);
-}
+// Table II's row labels, in the paper's order, with their registry ids.
+const std::vector<std::pair<const char*, const char*>> kTests = {
+    {"UDP", "narada/comparison/udp"},
+    {"UDP CLI", "narada/comparison/udp_cli"},
+    {"NIO", "narada/comparison/nio"},
+    {"TCP", "narada/comparison/tcp"},
+    {"Triple", "narada/comparison/triple"},
+    {"80", "narada/comparison/80"},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  g_tests = core::scenarios::narada_comparison_tests();
-  g_results.resize(g_tests.size());
-
-  for (std::size_t i = 0; i < g_tests.size(); ++i) {
-    benchmark::RegisterBenchmark(
-        ("fig3/" + g_tests[i].label).c_str(),
-        [i](benchmark::State& state) { run_comparison(state, i); })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
+  bench::Sweep sweep;
+  for (const auto& [label, id] : kTests) {
+    sweep.add(id, std::string("fig3/") + label);
   }
+  sweep.run_and_register();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -52,9 +45,9 @@ int main(int argc, char** argv) {
       "Narada comparison tests: round-trip time and standard deviation");
   util::TextTable table({"test", "RTT (ms)", "STDDEV (ms)", "loss (%)",
                          "sent", "received"});
-  for (std::size_t i = 0; i < g_tests.size(); ++i) {
-    const auto pooled = g_results[i].pooled();
-    table.add_row({g_tests[i].label,
+  for (const auto& [label, id] : kTests) {
+    const auto pooled = sweep.pooled(id);
+    table.add_row({label,
                    util::TextTable::format(pooled.metrics.rtt_mean_ms()),
                    util::TextTable::format(pooled.metrics.rtt_stddev_ms()),
                    util::TextTable::format(pooled.metrics.loss_rate() * 100.0,

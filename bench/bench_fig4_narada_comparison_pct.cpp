@@ -8,29 +8,24 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
-std::vector<core::scenarios::ComparisonTest> g_tests;
-std::vector<Repetitions> g_results;
+const std::vector<std::pair<const char*, const char*>> kTests = {
+    {"UDP", "narada/comparison/udp"},
+    {"UDP CLI", "narada/comparison/udp_cli"},
+    {"NIO", "narada/comparison/nio"},
+    {"TCP", "narada/comparison/tcp"},
+    {"Triple", "narada/comparison/triple"},
+    {"80", "narada/comparison/80"},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  g_tests = core::scenarios::narada_comparison_tests();
-  g_results.resize(g_tests.size());
-
-  for (std::size_t i = 0; i < g_tests.size(); ++i) {
-    benchmark::RegisterBenchmark(
-        ("fig4/" + g_tests[i].label).c_str(),
-        [i](benchmark::State& state) {
-          g_results[i] = bench::run_repeated(state, g_tests[i].config,
-                                             core::run_narada_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
+  bench::Sweep sweep;
+  for (const auto& [label, id] : kTests) {
+    sweep.add(id, std::string("fig4/") + label);
   }
+  sweep.run_and_register();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -39,9 +34,8 @@ int main(int argc, char** argv) {
   bench::print_figure_header("Fig 4",
                              "Narada comparison tests, percentile of RTT (ms)");
   util::TextTable table({"test", "95%", "96%", "97%", "98%", "99%", "100%"});
-  for (std::size_t i = 0; i < g_tests.size(); ++i) {
-    table.add_numeric_row(g_tests[i].label,
-                          core::percentile_row(g_results[i].pooled()), 1);
+  for (const auto& [label, id] : kTests) {
+    table.add_numeric_row(label, core::percentile_row(sweep.pooled(id)), 1);
   }
   bench::print_table(table);
   return 0;

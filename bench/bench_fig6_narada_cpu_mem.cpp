@@ -10,45 +10,34 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 struct Point {
   int connections;
   bool dbn;
-  Repetitions reps;
+  [[nodiscard]] std::string id() const {
+    return std::string(dbn ? "narada/dbn/" : "narada/single/") +
+           std::to_string(connections);
+  }
 };
 
-std::vector<Point> g_points;
+std::vector<Point> points() {
+  std::vector<Point> out;
+  for (int n : {500, 1000, 2000, 3000, 4000}) out.push_back({n, false});
+  for (int n : {2000, 3000, 4000}) out.push_back({n, true});
+  return out;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  for (int n : {500, 1000, 2000, 3000, 4000}) {
-    g_points.push_back(Point{n, false, {}});
+  const auto all = points();
+  bench::Sweep sweep;
+  for (const auto& point : all) {
+    sweep.add(point.id(),
+              std::string("fig6/") + (point.dbn ? "dbn/" : "single/") +
+                  std::to_string(point.connections));
   }
-  for (int n : {2000, 3000, 4000}) {
-    g_points.push_back(Point{n, true, {}});
-  }
-  for (std::size_t i = 0; i < g_points.size(); ++i) {
-    const auto& point = g_points[i];
-    const std::string name = std::string("fig6/") +
-                             (point.dbn ? "dbn/" : "single/") +
-                             std::to_string(point.connections);
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [i](benchmark::State& state) {
-          auto& p = g_points[i];
-          const auto config = p.dbn
-                                  ? core::scenarios::narada_dbn(p.connections)
-                                  : core::scenarios::narada_single(p.connections);
-          p.reps = bench::run_repeated(state, config,
-                                       core::run_narada_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
-  }
+  sweep.run_and_register();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -58,8 +47,8 @@ int main(int argc, char** argv) {
       "Fig 6", "Narada CPU idle and memory consumption (per broker host)");
   util::TextTable table({"deployment", "connections", "CPU idle (%)",
                          "memory (MB)", "events forwarded"});
-  for (const auto& point : g_points) {
-    const auto pooled = point.reps.pooled();
+  for (const auto& point : all) {
+    const auto pooled = sweep.pooled(point.id());
     table.add_row(
         {point.dbn ? "DBN (4 brokers)" : "single",
          std::to_string(point.connections),

@@ -13,49 +13,35 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
 
 struct Point {
   int connections;
   bool dbn;
-  Repetitions reps;
+  [[nodiscard]] std::string id() const {
+    return std::string(dbn ? "narada/dbn/" : "narada/single/") +
+           std::to_string(connections);
+  }
 };
 
-std::vector<Point> g_points;
-
-void register_points() {
-  for (int n : {500, 1000, 2000, 3000, 4000}) {
-    g_points.push_back(Point{n, false, {}});
-  }
-  for (int n : {2000, 3000, 4000, 5000}) {
-    g_points.push_back(Point{n, true, {}});
-  }
-  for (std::size_t i = 0; i < g_points.size(); ++i) {
-    const auto& point = g_points[i];
-    const std::string name = std::string("fig7/") +
-                             (point.dbn ? "dbn/" : "single/") +
-                             std::to_string(point.connections);
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [i](benchmark::State& state) {
-          auto& p = g_points[i];
-          const auto config = p.dbn
-                                  ? core::scenarios::narada_dbn(p.connections)
-                                  : core::scenarios::narada_single(p.connections);
-          p.reps = bench::run_repeated(state, config,
-                                       core::run_narada_experiment);
-        })
-        ->UseManualTime()
-        ->Iterations(bench::bench_seeds())
-        ->Unit(benchmark::kSecond);
-  }
+std::vector<Point> points() {
+  std::vector<Point> out;
+  for (int n : {500, 1000, 2000, 3000, 4000}) out.push_back({n, false});
+  for (int n : {2000, 3000, 4000, 5000}) out.push_back({n, true});
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  register_points();
+  const auto all = points();
+  bench::Sweep sweep;
+  for (const auto& point : all) {
+    sweep.add(point.id(),
+              std::string("fig7/") + (point.dbn ? "dbn/" : "single/") +
+                  std::to_string(point.connections));
+  }
+  sweep.run_and_register();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -64,8 +50,8 @@ int main(int argc, char** argv) {
       "Fig 7", "Narada RTT and standard deviation vs concurrent connections");
   util::TextTable table({"deployment", "connections", "RTT (ms)",
                          "STDDEV (ms)", "note"});
-  for (const auto& point : g_points) {
-    const auto pooled = point.reps.pooled();
+  for (const auto& point : all) {
+    const auto pooled = sweep.pooled(point.id());
     std::string note;
     if (pooled.refused > 0) {
       note = "OOM: refused " + std::to_string(pooled.refused) +
@@ -84,8 +70,8 @@ int main(int argc, char** argv) {
   util::AsciiChart chart(56, 14);
   std::vector<std::pair<double, double>> single_series;
   std::vector<std::pair<double, double>> dbn_series;
-  for (const auto& point : g_points) {
-    const auto pooled = point.reps.pooled();
+  for (const auto& point : all) {
+    const auto pooled = sweep.pooled(point.id());
     const double rtt = pooled.metrics.rtt_mean_ms();
     if (pooled.refused > 0 || rtt > 100.0) continue;
     (point.dbn ? dbn_series : single_series)

@@ -5,38 +5,13 @@
 // replay the past, so tuples inserted before attachment are lost.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace gridmon;
-using bench::Repetitions;
-
-Repetitions g_no_warmup;
-Repetitions g_with_warmup;
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  benchmark::RegisterBenchmark(
-      "loss/no_warmup/400",
-      [](benchmark::State& state) {
-        g_no_warmup = bench::run_repeated(state,
-                                          core::scenarios::rgma_no_warmup(),
-                                          core::run_rgma_experiment);
-      })
-      ->UseManualTime()
-      ->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
-  benchmark::RegisterBenchmark(
-      "loss/with_warmup/400",
-      [](benchmark::State& state) {
-        g_with_warmup = bench::run_repeated(state,
-                                            core::scenarios::rgma_single(400),
-                                            core::run_rgma_experiment);
-      })
-      ->UseManualTime()
-      ->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
+  using namespace gridmon;
+
+  bench::Sweep sweep;
+  sweep.add("rgma/no_warmup", "loss/no_warmup/400");
+  sweep.add("rgma/single/400", "loss/with_warmup/400");
+  sweep.run_and_register();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -46,12 +21,12 @@ int main(int argc, char** argv) {
       "§III.F loss experiment",
       "R-GMA data loss with and without the 10–20 s warm-up wait");
   util::TextTable table({"variant", "sent", "received", "loss (%)"});
-  const std::pair<const char*, const Repetitions*> entries[] = {
-      {"no warm-up", &g_no_warmup},
-      {"10-20 s warm-up", &g_with_warmup},
+  const std::pair<const char*, const char*> entries[] = {
+      {"no warm-up", "rgma/no_warmup"},
+      {"10-20 s warm-up", "rgma/single/400"},
   };
-  for (const auto& [label, reps] : entries) {
-    const auto pooled = reps->pooled();
+  for (const auto& [label, id] : entries) {
+    const auto pooled = sweep.pooled(id);
     table.add_row({label, std::to_string(pooled.metrics.sent()),
                    std::to_string(pooled.metrics.received()),
                    util::TextTable::format(pooled.metrics.loss_rate() * 100.0,

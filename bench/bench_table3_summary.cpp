@@ -10,37 +10,6 @@
 namespace {
 
 using namespace gridmon;
-using bench::Repetitions;
-
-Repetitions g_narada_800;
-Repetitions g_narada_4000;
-Repetitions g_narada_dbn_4000;
-Repetitions g_rgma_400;
-Repetitions g_rgma_800;
-Repetitions g_rgma_dist_1000;
-
-void reg(const char* name, Repetitions* slot, core::NaradaConfig config) {
-  benchmark::RegisterBenchmark(
-      name,
-      [slot, config](benchmark::State& state) {
-        *slot = bench::run_repeated(state, config,
-                                    core::run_narada_experiment);
-      })
-      ->UseManualTime()
-      ->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
-}
-
-void reg(const char* name, Repetitions* slot, core::RgmaConfig config) {
-  benchmark::RegisterBenchmark(
-      name,
-      [slot, config](benchmark::State& state) {
-        *slot = bench::run_repeated(state, config, core::run_rgma_experiment);
-      })
-      ->UseManualTime()
-      ->Iterations(bench::bench_seeds())
-      ->Unit(benchmark::kSecond);
-}
 
 std::string grade_connections(bool oom_at_probe, const char* wall) {
   return oom_at_probe ? std::string("Average (wall at ") + wall + ")"
@@ -50,16 +19,14 @@ std::string grade_connections(bool oom_at_probe, const char* wall) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::scenarios::set_quick_mode_minutes(bench::bench_minutes());
-  reg("table3/narada/800", &g_narada_800, core::scenarios::narada_single(800));
-  reg("table3/narada/4000", &g_narada_4000,
-      core::scenarios::narada_single(4000));
-  reg("table3/narada_dbn/4000", &g_narada_dbn_4000,
-      core::scenarios::narada_dbn(4000));
-  reg("table3/rgma/400", &g_rgma_400, core::scenarios::rgma_single(400));
-  reg("table3/rgma/800", &g_rgma_800, core::scenarios::rgma_single(800));
-  reg("table3/rgma_dist/1000", &g_rgma_dist_1000,
-      core::scenarios::rgma_distributed(1000));
+  bench::Sweep sweep;
+  sweep.add("narada/single/800", "table3/narada/800");
+  sweep.add("narada/single/4000", "table3/narada/4000");
+  sweep.add("narada/dbn/4000", "table3/narada_dbn/4000");
+  sweep.add("rgma/single/400", "table3/rgma/400");
+  sweep.add("rgma/single/800", "table3/rgma/800");
+  sweep.add("rgma/distributed/1000", "table3/rgma_dist/1000");
+  sweep.run_and_register();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -68,18 +35,22 @@ int main(int argc, char** argv) {
   bench::print_figure_header(
       "Table III", "R-GMA and NaradaBrokering comparison (measured grades)");
 
-  const auto narada = g_narada_800.pooled();
-  const auto rgma = g_rgma_400.pooled();
-  const bool narada_wall = g_narada_4000.pooled().refused > 0;
-  const bool rgma_wall = g_rgma_800.pooled().refused > 0;
+  const auto narada = sweep.pooled("narada/single/800");
+  const auto rgma = sweep.pooled("rgma/single/400");
+  const auto narada_4000 = sweep.pooled("narada/single/4000");
+  const auto narada_dbn_4000 = sweep.pooled("narada/dbn/4000");
+  const auto rgma_800 = sweep.pooled("rgma/single/800");
+  const auto rgma_dist_1000 = sweep.pooled("rgma/distributed/1000");
+
+  const bool narada_wall = narada_4000.refused > 0;
+  const bool rgma_wall = rgma_800.refused > 0;
   const bool narada_dbn_scales =
-      g_narada_dbn_4000.pooled().refused == 0 &&
-      g_narada_dbn_4000.pooled().metrics.rtt_mean_ms() >
-          g_narada_800.pooled().metrics.rtt_mean_ms();
+      narada_dbn_4000.refused == 0 &&
+      narada_dbn_4000.metrics.rtt_mean_ms() > narada.metrics.rtt_mean_ms();
   const bool rgma_dist_scales =
-      g_rgma_dist_1000.pooled().refused == 0 &&
-      g_rgma_dist_1000.pooled().metrics.rtt_mean_ms() <
-          1.5 * g_rgma_800.pooled().metrics.rtt_mean_ms();
+      rgma_dist_1000.refused == 0 &&
+      rgma_dist_1000.metrics.rtt_mean_ms() <
+          1.5 * rgma_800.metrics.rtt_mean_ms();
 
   util::TextTable table({"", "Real-time performance",
                          "Concurrent Connections & Throughput",
@@ -103,14 +74,12 @@ int main(int argc, char** argv) {
               rgma.metrics.rtt_mean_ms(),
               rgma.metrics.rtt_percentile_ms(99.8));
   std::printf("  Narada single@4000: refused %llu | DBN@4000: refused %llu\n",
-              static_cast<unsigned long long>(g_narada_4000.pooled().refused),
-              static_cast<unsigned long long>(
-                  g_narada_dbn_4000.pooled().refused));
+              static_cast<unsigned long long>(narada_4000.refused),
+              static_cast<unsigned long long>(narada_dbn_4000.refused));
   std::printf("  R-GMA single@800: refused %llu | distributed@1000: refused "
               "%llu\n",
-              static_cast<unsigned long long>(g_rgma_800.pooled().refused),
-              static_cast<unsigned long long>(
-                  g_rgma_dist_1000.pooled().refused));
+              static_cast<unsigned long long>(rgma_800.refused),
+              static_cast<unsigned long long>(rgma_dist_1000.refused));
   std::printf(
       "Paper: R-GMA = Average / Average / Very good; Narada = Very good / "
       "Very good / Average.\n");

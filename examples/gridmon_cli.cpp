@@ -1,5 +1,17 @@
 // gridmon_cli: run any experiment from the command line.
 //
+//   gridmon_cli list [prefix]
+//       Print every scenario id in the built-in registry (optionally
+//       filtered by id prefix) with its description.
+//
+//   gridmon_cli run <id|prefix>... [--seeds N] [--jobs N]
+//               [--minutes M | --quick] [--csv|--json]
+//       Resolve each argument against the registry (exact id first, then
+//       prefix expansion), fan the campaign out over a worker pool and
+//       print the aggregated per-scenario table. --quick runs 2 virtual
+//       minutes instead of the default 5; --csv/--json dump the raw
+//       per-run rows instead. Progress goes to stderr.
+//
 //   gridmon_cli narada [--connections N] [--transport tcp|nio|udp]
 //               [--ack auto|client] [--brokers N] [--minutes M]
 //               [--pad BYTES] [--persistent] [--routing-fix] [--seed S]
@@ -7,15 +19,19 @@
 //   gridmon_cli rgma   [--connections N] [--distributed] [--secondary]
 //               [--sp-delay SECONDS] [--no-warmup] [--secure] [--legacy]
 //               [--minutes M] [--seed S] [--csv]
+//       Ad-hoc single runs with explicit knobs (the original interface).
 //
 // Prints the paper's metric set for the chosen configuration; --csv emits a
-// single machine-readable line instead.
+// machine-readable line per run instead.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "core/campaign.hpp"
 #include "core/experiment.hpp"
+#include "core/registry.hpp"
 #include "core/report.hpp"
 #include "util/table.hpp"
 
@@ -24,14 +40,18 @@ using namespace gridmon;
 namespace {
 
 [[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s narada|rgma [options]\n"
-               "  common: --connections N --minutes M --seed S --csv\n"
-               "  narada: --transport tcp|nio|udp --ack auto|client\n"
-               "          --brokers N --pad BYTES --persistent --routing-fix\n"
-               "  rgma:   --distributed --secondary --sp-delay S --no-warmup\n"
-               "          --secure --legacy\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s list [prefix]\n"
+      "       %s run <id|prefix>... [--seeds N] [--jobs N]\n"
+      "           [--minutes M | --quick] [--csv|--json]\n"
+      "       %s narada|rgma [options]\n"
+      "  common: --connections N --minutes M --seed S --csv\n"
+      "  narada: --transport tcp|nio|udp --ack auto|client\n"
+      "          --brokers N --pad BYTES --persistent --routing-fix\n"
+      "  rgma:   --distributed --secondary --sp-delay S --no-warmup\n"
+      "          --secure --legacy\n",
+      argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -168,11 +188,112 @@ void report(const core::Results& results, bool csv, const std::string& label) {
   std::printf("%s", table.render().c_str());
 }
 
+int cmd_list(int argc, char** argv) {
+  const std::string prefix = argc > 2 ? argv[2] : "";
+  const auto& registry = core::builtin_registry();
+  util::TextTable table({"id", "system", "description"});
+  int shown = 0;
+  for (const auto& spec : registry.all()) {
+    if (!prefix.empty() && spec.id.rfind(prefix, 0) != 0) continue;
+    table.add_row({spec.id, spec.system(), spec.description});
+    ++shown;
+  }
+  if (shown == 0) {
+    std::fprintf(stderr, "no scenario id starts with '%s'\n", prefix.c_str());
+    return 1;
+  }
+  std::printf("%s%d scenario(s)\n", table.render().c_str(), shown);
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  std::vector<std::string> ids;
+  core::CampaignOptions options;
+  options.seeds = 2;
+  options.jobs = 1;
+  int minutes = 5;
+  bool csv = false;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--seeds") {
+      options.seeds = static_cast<int>(need_value(argc, argv, i));
+    } else if (flag == "--jobs") {
+      options.jobs = static_cast<int>(need_value(argc, argv, i));
+    } else if (flag == "--minutes") {
+      minutes = static_cast<int>(need_value(argc, argv, i));
+    } else if (flag == "--quick") {
+      minutes = 2;
+    } else if (flag == "--csv") {
+      csv = true;
+    } else if (flag == "--json") {
+      json = true;
+    } else if (!flag.empty() && flag[0] == '-') {
+      usage(argv[0]);
+    } else {
+      ids.push_back(flag);
+    }
+  }
+  if (ids.empty() || options.seeds < 1 || minutes < 1) usage(argv[0]);
+  options.duration = units::minutes(minutes);
+  options.progress = [](int done, int total, const core::RunRecord& record) {
+    std::fprintf(stderr, "[%3d/%3d] %s seed=%llu (%.1fs)\n", done, total,
+                 record.scenario_id.c_str(),
+                 static_cast<unsigned long long>(record.seed),
+                 record.wall_seconds);
+  };
+
+  const auto& registry = core::builtin_registry();
+  core::CampaignRunner runner(options);
+  for (const auto& id : ids) {
+    if (runner.add(registry, id)) continue;
+    if (runner.add_matching(registry, id) == 0) {
+      std::fprintf(stderr, "unknown scenario id or prefix: %s\n", id.c_str());
+      std::fprintf(stderr, "(try: %s list)\n", argv[0]);
+      return 2;
+    }
+  }
+  std::fprintf(stderr, "campaign: %zu scenario(s) x %d seed(s), %d min "
+                       "virtual, jobs=%d\n",
+               runner.scenarios().size(), options.seeds, minutes,
+               options.jobs);
+
+  const core::Campaign campaign = runner.run();
+  std::fprintf(stderr, "campaign finished in %.1fs wall-clock\n",
+               campaign.wall_seconds());
+
+  if (csv) {
+    std::printf("%s", campaign.csv().c_str());
+    return 0;
+  }
+  if (json) {
+    std::printf("%s", campaign.json().c_str());
+    return 0;
+  }
+  // Aggregated per-scenario table (pooled seeds, the paper's merge).
+  util::TextTable table({"scenario", "RTT (ms)", "STDDEV (ms)", "loss (%)",
+                         "CPU idle (%)", "mem (MB)", "refused"});
+  for (const auto& spec : runner.scenarios()) {
+    const auto pooled = campaign.pooled(spec.id);
+    table.add_row(
+        {spec.id, util::TextTable::format(pooled.metrics.rtt_mean_ms()),
+         util::TextTable::format(pooled.metrics.rtt_stddev_ms()),
+         util::TextTable::format(pooled.metrics.loss_rate() * 100.0, 4),
+         util::TextTable::format(pooled.servers.cpu_idle_pct, 1),
+         std::to_string(pooled.servers.memory_bytes / units::MiB),
+         std::to_string(pooled.refused)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
   const std::string system = argv[1];
+  if (system == "list") return cmd_list(argc, argv);
+  if (system == "run") return cmd_run(argc, argv);
   const Args args = parse(argc, argv);
 
   if (system == "narada") {

@@ -1,0 +1,198 @@
+#include "core/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace gridmon::core {
+
+Results Repetitions::pooled() const {
+  Results out;
+  if (runs_.empty()) return out;
+  double idle = 0.0;
+  std::int64_t mem = 0;
+  for (const auto& run : runs_) {
+    out.metrics.count_sent(run.metrics.sent());
+    for (double rtt : run.metrics.rtt_ms().raw()) {
+      // Re-record with zeroed phases; percentiles/mean come from here.
+      out.metrics.record(0, 0, 0, static_cast<SimTime>(rtt * 1e6));
+    }
+    idle += run.servers.cpu_idle_pct;
+    mem += run.servers.memory_bytes;
+    out.refused += run.refused;
+    out.events_forwarded += run.events_forwarded;
+    out.wire_bytes += run.wire_bytes;
+    out.completed = out.completed && run.completed;
+  }
+  out.servers.cpu_idle_pct = idle / static_cast<double>(runs_.size());
+  out.servers.memory_bytes = mem / static_cast<std::int64_t>(runs_.size());
+  return out;
+}
+
+std::vector<const RunRecord*> Campaign::records(
+    std::string_view scenario_id) const {
+  std::vector<const RunRecord*> out;
+  for (const auto& run : runs_) {
+    if (run.scenario_id == scenario_id) out.push_back(&run);
+  }
+  return out;
+}
+
+Repetitions Campaign::repetitions(std::string_view scenario_id) const {
+  Repetitions reps;
+  for (const auto& run : runs_) {
+    if (run.scenario_id == scenario_id) reps.add(run.results);
+  }
+  return reps;
+}
+
+namespace {
+
+void append_row(std::string& out, const RunRecord& run, bool json) {
+  const auto& m = run.results.metrics;
+  char buffer[512];
+  if (json) {
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "  {\"scenario\": \"%s\", \"seed\": %llu, \"sent\": %llu, "
+        "\"received\": %llu, \"loss_pct\": %.4f, \"rtt_mean_ms\": %.3f, "
+        "\"rtt_stddev_ms\": %.3f, \"rtt_p95_ms\": %.3f, \"rtt_p99_ms\": "
+        "%.3f, \"rtt_p100_ms\": %.3f, \"cpu_idle_pct\": %.1f, "
+        "\"memory_mib\": %lld, \"events_forwarded\": %llu, \"wire_bytes\": "
+        "%lld, \"refused\": %llu, \"completed\": %s}",
+        run.scenario_id.c_str(), static_cast<unsigned long long>(run.seed),
+        static_cast<unsigned long long>(m.sent()),
+        static_cast<unsigned long long>(m.received()), m.loss_rate() * 100.0,
+        m.rtt_mean_ms(), m.rtt_stddev_ms(), m.rtt_percentile_ms(95),
+        m.rtt_percentile_ms(99), m.rtt_percentile_ms(100),
+        run.results.servers.cpu_idle_pct,
+        static_cast<long long>(run.results.servers.memory_bytes / units::MiB),
+        static_cast<unsigned long long>(run.results.events_forwarded),
+        static_cast<long long>(run.results.wire_bytes),
+        static_cast<unsigned long long>(run.results.refused),
+        run.results.completed ? "true" : "false");
+  } else {
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "%s,%llu,%llu,%llu,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f,%lld,%llu,"
+        "%lld,%llu,%d",
+        run.scenario_id.c_str(), static_cast<unsigned long long>(run.seed),
+        static_cast<unsigned long long>(m.sent()),
+        static_cast<unsigned long long>(m.received()), m.loss_rate() * 100.0,
+        m.rtt_mean_ms(), m.rtt_stddev_ms(), m.rtt_percentile_ms(95),
+        m.rtt_percentile_ms(99), m.rtt_percentile_ms(100),
+        run.results.servers.cpu_idle_pct,
+        static_cast<long long>(run.results.servers.memory_bytes / units::MiB),
+        static_cast<unsigned long long>(run.results.events_forwarded),
+        static_cast<long long>(run.results.wire_bytes),
+        static_cast<unsigned long long>(run.results.refused),
+        run.results.completed ? 1 : 0);
+  }
+  out += buffer;
+}
+
+}  // namespace
+
+std::string Campaign::csv() const {
+  std::string out =
+      "scenario,seed,sent,received,loss_pct,rtt_mean_ms,rtt_stddev_ms,"
+      "rtt_p95_ms,rtt_p99_ms,rtt_p100_ms,cpu_idle_pct,memory_mib,"
+      "events_forwarded,wire_bytes,refused,completed\n";
+  for (const auto& run : runs_) {
+    append_row(out, run, /*json=*/false);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Campaign::json() const {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    append_row(out, runs_[i], /*json=*/true);
+    out += i + 1 < runs_.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {
+  if (options_.seeds < 1) options_.seeds = 1;
+}
+
+void CampaignRunner::add(ScenarioSpec spec) {
+  scenarios_.push_back(std::move(spec));
+}
+
+bool CampaignRunner::add(const ScenarioRegistry& registry,
+                         std::string_view id) {
+  const ScenarioSpec* spec = registry.find(id);
+  if (spec == nullptr) return false;
+  scenarios_.push_back(*spec);
+  return true;
+}
+
+int CampaignRunner::add_matching(const ScenarioRegistry& registry,
+                                 std::string_view prefix) {
+  int added = 0;
+  for (const ScenarioSpec* spec : registry.match(prefix)) {
+    scenarios_.push_back(*spec);
+    ++added;
+  }
+  return added;
+}
+
+Campaign CampaignRunner::run() {
+  const int seeds = options_.seeds;
+  const int total = total_runs();
+  std::vector<RunRecord> records(static_cast<std::size_t>(total));
+
+  int jobs = options_.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  if (jobs > total) jobs = total;
+
+  const auto campaign_begin = std::chrono::steady_clock::now();
+  // Runs are claimed from a shared counter but *stored* by index, so the
+  // result order is a function of the queue alone, never of scheduling.
+  std::atomic<int> next{0};
+  std::mutex progress_mutex;
+  int done = 0;
+  auto worker = [&] {
+    for (int i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+      const ScenarioSpec& spec =
+          scenarios_[static_cast<std::size_t>(i / seeds)];
+      const std::uint64_t seed =
+          options_.first_seed + static_cast<std::uint64_t>(i % seeds);
+      const auto begin = std::chrono::steady_clock::now();
+      Results results = run_scenario(spec, options_.duration, seed);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - begin;
+      auto& slot = records[static_cast<std::size_t>(i)];
+      slot = RunRecord{spec.id, seed, std::move(results), elapsed.count()};
+      if (options_.progress) {
+        std::lock_guard lock(progress_mutex);
+        options_.progress(++done, total, slot);
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  const std::chrono::duration<double> campaign_elapsed =
+      std::chrono::steady_clock::now() - campaign_begin;
+  return Campaign(std::move(records), campaign_elapsed.count());
+}
+
+}  // namespace gridmon::core

@@ -29,6 +29,7 @@ struct Results {
   Metrics metrics;
   ResourceUsage servers;
   std::uint64_t events_forwarded = 0;  ///< broker→broker traffic (Narada)
+  std::int64_t wire_bytes = 0;         ///< bytes into the primary server
   std::uint64_t refused = 0;           ///< connections/producers refused
   bool completed = true;               ///< false if the run hit a hard wall
 

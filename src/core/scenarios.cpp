@@ -1,17 +1,6 @@
 #include "core/scenarios.hpp"
 
 namespace gridmon::core::scenarios {
-namespace {
-
-SimTime g_duration = units::minutes(30);
-
-}  // namespace
-
-void set_quick_mode_minutes(int minutes) {
-  g_duration = units::minutes(minutes);
-}
-
-SimTime scenario_duration() { return g_duration; }
 
 std::vector<ComparisonTest> narada_comparison_tests(std::uint64_t seed) {
   using narada::TransportKind;
@@ -19,7 +8,6 @@ std::vector<ComparisonTest> narada_comparison_tests(std::uint64_t seed) {
 
   NaradaConfig base;
   base.generators = 800;
-  base.duration = g_duration;
   base.seed = seed;
 
   {
@@ -66,7 +54,6 @@ NaradaConfig narada_single(int connections, std::uint64_t seed) {
   NaradaConfig config;
   config.generators = connections;
   config.broker_hosts = {0};
-  config.duration = g_duration;
   config.seed = seed;
   return config;
 }
@@ -75,7 +62,6 @@ NaradaConfig narada_dbn(int connections, std::uint64_t seed) {
   NaradaConfig config;
   config.generators = connections;
   config.broker_hosts = {0, 1, 2, 3};
-  config.duration = g_duration;
   config.seed = seed;
   return config;
 }
@@ -84,7 +70,6 @@ RgmaConfig rgma_single(int connections, std::uint64_t seed) {
   RgmaConfig config;
   config.producers = connections;
   config.distributed = false;
-  config.duration = g_duration;
   config.seed = seed;
   return config;
 }

@@ -42,9 +42,10 @@ struct ComparisonTest {
 /// immediately; the paper measured 0.17 % loss).
 [[nodiscard]] RgmaConfig rgma_no_warmup(std::uint64_t seed = 1);
 
-/// Duration override helper for fast CI runs (benches use the full
-/// 30-minute paper setting by default; tests shrink it).
-void set_quick_mode_minutes(int minutes);
-[[nodiscard]] SimTime scenario_duration();
+// Every factory returns the paper-faithful 30-minute configuration. Quick
+// runs shrink the duration explicitly — per config via `scaled()`, or for a
+// whole sweep via `CampaignOptions::duration` (core/campaign.hpp). There is
+// deliberately no process-wide duration knob: campaign workers run scenarios
+// concurrently, so scenario construction must be free of mutable globals.
 
 }  // namespace gridmon::core::scenarios

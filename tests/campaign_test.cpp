@@ -1,0 +1,211 @@
+// The campaign runner: registry coverage, deterministic parallel fan-out.
+#include "core/campaign.hpp"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/scenarios.hpp"
+
+namespace gridmon::core {
+namespace {
+
+// Every id in DESIGN.md §4's experiment index must resolve — each bench
+// binary and the CLI address scenarios only through these names.
+const std::vector<std::string> kSection4Ids = {
+    // Table II + Figs 3-4 + §III.E loss
+    "narada/comparison/udp", "narada/comparison/udp_cli",
+    "narada/comparison/nio", "narada/comparison/tcp",
+    "narada/comparison/triple", "narada/comparison/80",
+    // Figs 6-8 + Table III + Fig 15
+    "narada/single/400", "narada/single/500", "narada/single/800",
+    "narada/single/1000", "narada/single/2000", "narada/single/3000",
+    "narada/single/4000",
+    // Figs 6, 7, 9 + Table III
+    "narada/dbn/2000", "narada/dbn/3000", "narada/dbn/4000",
+    "narada/dbn/5000",
+    // Ablation: the fixed broadcast deficiency
+    "narada/dbn_routed/2000", "narada/dbn_routed/3000",
+    "narada/dbn_routed/4000",
+    // Ablation: transport x ack matrix
+    "narada/matrix/tcp/auto", "narada/matrix/tcp/client",
+    "narada/matrix/nio/auto", "narada/matrix/nio/client",
+    "narada/matrix/udp/auto", "narada/matrix/udp/client",
+    // Ablation: delivery quality
+    "narada/persistent/800",
+    // Figs 11-13 + Table III + Fig 15
+    "rgma/single/100", "rgma/single/200", "rgma/single/400",
+    "rgma/single/600", "rgma/single/800",
+    // Figs 11, 13, 14 + Table III
+    "rgma/distributed/200", "rgma/distributed/400", "rgma/distributed/600",
+    "rgma/distributed/800", "rgma/distributed/1000",
+    // Fig 10
+    "rgma/secondary/50", "rgma/secondary/100", "rgma/secondary/200",
+    // Ablation: deliberate delay sweep
+    "rgma/secondary_delay/0", "rgma/secondary_delay/5",
+    "rgma/secondary_delay/15", "rgma/secondary_delay/30",
+    // §III.F loss + delivery-quality ablations
+    "rgma/no_warmup", "rgma/https/200", "rgma/legacy/200",
+    // Bespoke-topology ablations
+    "ablation/aggregation/1", "ablation/aggregation/2",
+    "ablation/aggregation/4", "ablation/aggregation/8",
+    "ablation/aggregation/16", "ablation/aggregation/32",
+    "ablation/webservices/binary", "ablation/webservices/soap",
+};
+
+TEST(RegistryTest, ResolvesEveryDesignSection4Id) {
+  const auto& registry = builtin_registry();
+  for (const auto& id : kSection4Ids) {
+    EXPECT_NE(registry.find(id), nullptr) << "missing scenario id: " << id;
+  }
+  // The catalogue holds exactly this set — a new scenario must be added to
+  // the enumeration above (and to DESIGN.md §4).
+  EXPECT_EQ(registry.size(), kSection4Ids.size());
+}
+
+TEST(RegistryTest, FindAndMatch) {
+  const auto& registry = builtin_registry();
+  const auto* spec = registry.find("narada/single/400");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_STREQ(spec->system(), "narada");
+  EXPECT_EQ(registry.find("narada/single/999"), nullptr);
+
+  EXPECT_EQ(registry.match("narada/comparison/").size(), 6u);
+  EXPECT_EQ(registry.match("rgma/secondary_delay/").size(), 4u);
+  EXPECT_TRUE(registry.match("no/such/prefix").empty());
+  EXPECT_STREQ(registry.find("ablation/webservices/soap")->system(),
+               "custom");
+}
+
+TEST(RegistryTest, RunScenarioOverridesDurationAndSeed) {
+  // The spec's embedded config is paper-faithful (30 min); run_scenario
+  // must apply the campaign's duration and seed instead.
+  ScenarioSpec spec{"test/small", "small narada run",
+                    scenarios::narada_single(40)};
+  const Results a = run_scenario(spec, units::minutes(1), 7);
+  const Results b = run_scenario(spec, units::minutes(1), 7);
+  const Results c = run_scenario(spec, units::minutes(1), 8);
+  EXPECT_GT(a.metrics.sent(), 0u);
+  EXPECT_EQ(a.metrics.sent(), b.metrics.sent());
+  EXPECT_EQ(a.metrics.rtt_mean_ms(), b.metrics.rtt_mean_ms());
+  // A different seed shifts warm-up jitter: some metric must differ.
+  EXPECT_NE(a.metrics.rtt_mean_ms(), c.metrics.rtt_mean_ms());
+}
+
+CampaignRunner make_runner(int jobs) {
+  CampaignOptions options;
+  options.jobs = jobs;
+  options.seeds = 2;
+  options.duration = units::minutes(1);
+  CampaignRunner runner(options);
+  runner.add(ScenarioSpec{"test/narada/60", "small narada",
+                          scenarios::narada_single(60)});
+  runner.add(ScenarioSpec{"test/rgma/40", "small rgma",
+                          scenarios::rgma_single(40)});
+  return runner;
+}
+
+TEST(CampaignTest, ParallelJobsProduceByteIdenticalResults) {
+  // The API's core promise: --jobs 1 and --jobs 4 yield byte-identical
+  // exports — Results are a pure function of (scenario, duration, seed)
+  // and ordering follows the queue, not completion.
+  auto serial_runner = make_runner(1);
+  auto parallel_runner = make_runner(4);
+  const Campaign serial = serial_runner.run();
+  const Campaign parallel = parallel_runner.run();
+
+  ASSERT_EQ(serial.runs().size(), 4u);
+  ASSERT_EQ(parallel.runs().size(), 4u);
+  EXPECT_EQ(serial.csv(), parallel.csv());
+  EXPECT_EQ(serial.json(), parallel.json());
+
+  // Spot-check the ordering contract directly.
+  EXPECT_EQ(serial.runs()[0].scenario_id, "test/narada/60");
+  EXPECT_EQ(serial.runs()[0].seed, 1u);
+  EXPECT_EQ(serial.runs()[1].seed, 2u);
+  EXPECT_EQ(serial.runs()[2].scenario_id, "test/rgma/40");
+  for (std::size_t i = 0; i < serial.runs().size(); ++i) {
+    EXPECT_EQ(parallel.runs()[i].scenario_id, serial.runs()[i].scenario_id);
+    EXPECT_EQ(parallel.runs()[i].seed, serial.runs()[i].seed);
+    EXPECT_EQ(parallel.runs()[i].results.metrics.sent(),
+              serial.runs()[i].results.metrics.sent());
+  }
+}
+
+TEST(CampaignTest, ProgressReportsEveryRunExactlyOnce) {
+  CampaignOptions options;
+  options.jobs = 4;
+  options.seeds = 2;
+  options.duration = units::minutes(1);
+  std::atomic<int> calls{0};
+  int max_done = 0;
+  options.progress = [&](int done, int total, const RunRecord& record) {
+    // Serialised by the runner, so plain reads/writes are safe here.
+    calls.fetch_add(1);
+    EXPECT_EQ(total, 4);
+    EXPECT_GE(done, 1);
+    EXPECT_LE(done, total);
+    EXPECT_FALSE(record.scenario_id.empty());
+    if (done > max_done) max_done = done;
+  };
+  CampaignRunner runner(options);
+  runner.add(ScenarioSpec{"test/narada/60", "small narada",
+                          scenarios::narada_single(60)});
+  runner.add(ScenarioSpec{"test/rgma/40", "small rgma",
+                          scenarios::rgma_single(40)});
+  EXPECT_EQ(runner.total_runs(), 4);
+  const Campaign campaign = runner.run();
+  EXPECT_EQ(calls.load(), 4);
+  EXPECT_EQ(max_done, 4);
+  EXPECT_EQ(campaign.runs().size(), 4u);
+}
+
+TEST(CampaignTest, RepetitionsPoolSeeds) {
+  CampaignOptions options;
+  options.jobs = 2;
+  options.seeds = 2;
+  options.duration = units::minutes(1);
+  CampaignRunner runner(options);
+  runner.add(ScenarioSpec{"test/narada/60", "small narada",
+                          scenarios::narada_single(60)});
+  const Campaign campaign = runner.run();
+
+  const auto records = campaign.records("test/narada/60");
+  ASSERT_EQ(records.size(), 2u);
+  const Results pooled = campaign.pooled("test/narada/60");
+  EXPECT_EQ(pooled.metrics.sent(), records[0]->results.metrics.sent() +
+                                       records[1]->results.metrics.sent());
+  EXPECT_TRUE(campaign.records("no/such/id").empty());
+}
+
+TEST(CampaignTest, AddFromRegistry) {
+  CampaignOptions options;
+  CampaignRunner runner(options);
+  const auto& registry = builtin_registry();
+  EXPECT_TRUE(runner.add(registry, "narada/single/400"));
+  EXPECT_FALSE(runner.add(registry, "narada/single/999"));
+  EXPECT_EQ(runner.add_matching(registry, "rgma/secondary/"), 3);
+  EXPECT_EQ(runner.scenarios().size(), 4u);
+}
+
+TEST(CampaignTest, CsvShapeIsStable) {
+  CampaignOptions options;
+  options.seeds = 1;
+  options.duration = units::minutes(1);
+  CampaignRunner runner(options);
+  runner.add(ScenarioSpec{"test/narada/60", "small narada",
+                          scenarios::narada_single(60)});
+  const Campaign campaign = runner.run();
+  const std::string csv = campaign.csv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "scenario,seed,sent,received,loss_pct,rtt_mean_ms,rtt_stddev_ms,"
+            "rtt_p95_ms,rtt_p99_ms,rtt_p100_ms,cpu_idle_pct,memory_mib,"
+            "events_forwarded,wire_bytes,refused,completed");
+  EXPECT_NE(csv.find("test/narada/60,1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridmon::core

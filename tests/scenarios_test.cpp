@@ -6,12 +6,7 @@
 namespace gridmon::core::scenarios {
 namespace {
 
-struct ScenarioFixture : ::testing::Test {
-  void SetUp() override { set_quick_mode_minutes(30); }
-  void TearDown() override { set_quick_mode_minutes(30); }
-};
-
-TEST_F(ScenarioFixture, ComparisonTestsMatchTableII) {
+TEST(ScenariosTest, ComparisonTestsMatchTableII) {
   const auto tests = narada_comparison_tests();
   ASSERT_EQ(tests.size(), 6u);
 
@@ -43,7 +38,9 @@ TEST_F(ScenarioFixture, ComparisonTestsMatchTableII) {
             tests[3].config.publish_period / 10);
 
   for (const auto& test : tests) {
-    if (test.label != "80") EXPECT_EQ(test.config.generators, 800);
+    if (test.label != "80") {
+      EXPECT_EQ(test.config.generators, 800);
+    }
     EXPECT_EQ(test.config.creation_interval, units::milliseconds(500));
     EXPECT_EQ(test.config.warmup_min, units::seconds(10));
     EXPECT_EQ(test.config.warmup_max, units::seconds(20));
@@ -51,7 +48,7 @@ TEST_F(ScenarioFixture, ComparisonTestsMatchTableII) {
   }
 }
 
-TEST_F(ScenarioFixture, ComparisonTestsDeliverTheSameTotalData) {
+TEST(ScenariosTest, ComparisonTestsDeliverTheSameTotalData) {
   // The paper equalised total data across tests 4, 5 and 6.
   const auto tests = narada_comparison_tests();
   auto messages = [](const NaradaConfig& c) {
@@ -65,7 +62,7 @@ TEST_F(ScenarioFixture, ComparisonTestsDeliverTheSameTotalData) {
   EXPECT_EQ(messages(eighty), messages(tcp));
 }
 
-TEST_F(ScenarioFixture, NaradaDeployments) {
+TEST(ScenariosTest, NaradaDeployments) {
   const auto single = narada_single(2000);
   EXPECT_EQ(single.generators, 2000);
   EXPECT_EQ(single.broker_hosts, (std::vector<int>{0}));
@@ -75,7 +72,7 @@ TEST_F(ScenarioFixture, NaradaDeployments) {
   EXPECT_EQ(dbn.broker_hosts, (std::vector<int>{0, 1, 2, 3}));
 }
 
-TEST_F(ScenarioFixture, RgmaDeploymentsMatchSectionIIIF) {
+TEST(ScenariosTest, RgmaDeploymentsMatchSectionIIIF) {
   const auto single = rgma_single(400);
   EXPECT_EQ(single.producers, 400);
   EXPECT_FALSE(single.distributed);
@@ -95,14 +92,19 @@ TEST_F(ScenarioFixture, RgmaDeploymentsMatchSectionIIIF) {
   EXPECT_EQ(no_warmup.warmup_max, 0);
 }
 
-TEST_F(ScenarioFixture, QuickModeScalesDuration) {
-  set_quick_mode_minutes(2);
-  EXPECT_EQ(scenario_duration(), units::minutes(2));
-  EXPECT_EQ(narada_single(100).duration, units::minutes(2));
-  EXPECT_EQ(rgma_single(100).duration, units::minutes(2));
+TEST(ScenariosTest, FactoriesDefaultToThePapersThirtyMinutes) {
+  // There is no process-wide duration knob any more: factories always
+  // return the paper-faithful 30-minute configuration; shorter runs set
+  // the duration explicitly (scaled() or CampaignOptions::duration).
+  EXPECT_EQ(narada_single(100).duration, units::minutes(30));
+  EXPECT_EQ(narada_dbn(2000).duration, units::minutes(30));
+  EXPECT_EQ(rgma_single(100).duration, units::minutes(30));
+  EXPECT_EQ(rgma_distributed(400).duration, units::minutes(30));
+  EXPECT_EQ(rgma_with_secondary(100).duration, units::minutes(30));
+  EXPECT_EQ(rgma_no_warmup().duration, units::minutes(30));
 }
 
-TEST_F(ScenarioFixture, SeedsPropagate) {
+TEST(ScenariosTest, SeedsPropagate) {
   EXPECT_EQ(narada_single(100, 7).seed, 7u);
   EXPECT_EQ(rgma_single(100, 9).seed, 9u);
 }
