@@ -23,6 +23,7 @@
 //
 // Prints the paper's metric set for the chosen configuration; --csv emits a
 // machine-readable line per run instead.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -259,8 +260,20 @@ int cmd_run(int argc, char** argv) {
                options.jobs);
 
   const core::Campaign campaign = runner.run();
-  std::fprintf(stderr, "campaign finished in %.1fs wall-clock\n",
-               campaign.wall_seconds());
+  std::uint64_t sim_events = 0;
+  double run_seconds = 0;
+  for (const auto& record : campaign.runs()) {
+    sim_events += record.results.kernel.events_executed;
+    run_seconds += record.wall_seconds;
+  }
+  std::fprintf(stderr,
+               "campaign finished in %.1fs wall-clock (%llu kernel events, "
+               "%.2fM events/s per worker)\n",
+               campaign.wall_seconds(),
+               static_cast<unsigned long long>(sim_events),
+               run_seconds > 0
+                   ? static_cast<double>(sim_events) / run_seconds / 1e6
+                   : 0.0);
 
   if (csv) {
     std::printf("%s", campaign.csv().c_str());

@@ -2,7 +2,7 @@
 
 namespace gridmon::cluster {
 
-SimTime Cpu::execute(SimTime demand, std::function<void()> done) {
+SimTime Cpu::execute(SimTime demand, sim::EventFn done) {
   if (demand < 0) demand = 0;
   const auto scaled = static_cast<SimTime>(static_cast<double>(demand) / speed_);
   const SimTime now = sim_.now();

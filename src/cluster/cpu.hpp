@@ -29,14 +29,15 @@ class Cpu {
   Cpu(Cpu&&) = default;
 
   /// Enqueue `demand` of CPU time; `done` fires at completion. Returns the
-  /// completion time.
-  SimTime execute(SimTime demand, std::function<void()> done);
+  /// completion time. Small completion captures run allocation-free (the
+  /// callback lives inline in the kernel's event node).
+  SimTime execute(SimTime demand, sim::EventFn done);
 
   /// Enqueue work with no completion callback (fire-and-forget cost).
-  SimTime charge(SimTime demand) { return execute(demand, nullptr); }
+  SimTime charge(SimTime demand) { return execute(demand, {}); }
 
   /// Occupy the core for `duration` (GC pause, swap stall).
-  void stall(SimTime duration) { execute(duration, nullptr); }
+  void stall(SimTime duration) { execute(duration, {}); }
 
   /// Time already committed ahead of a job entering now.
   [[nodiscard]] SimTime backlog() const {

@@ -81,6 +81,7 @@ Results run_aggregation(int batch_size, const RunContext& context) {
   results.servers.cpu_idle_pct =
       100.0 * (1.0 - static_cast<double>(busy) / static_cast<double>(kRunFor));
   results.wire_bytes = hydra.lan().bytes_to_node(0);
+  results.kernel = hydra.sim().kernel_stats();
   return results;
 }
 
@@ -140,6 +141,7 @@ Results run_webservices(bool soap, int rate_hz, const RunContext& context) {
 
   hydra.sim().run_until(kRunFor + units::seconds(10));
   results.wire_bytes = hydra.lan().bytes_to_node(0);
+  results.kernel = hydra.sim().kernel_stats();
   return results;
 }
 

@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +26,13 @@ Results Repetitions::pooled() const {
     out.events_forwarded += run.events_forwarded;
     out.wire_bytes += run.wire_bytes;
     out.completed = out.completed && run.completed;
+    out.kernel.events_executed += run.kernel.events_executed;
+    out.kernel.callback_heap_allocs += run.kernel.callback_heap_allocs;
+    out.kernel.handles_materialised += run.kernel.handles_materialised;
+    out.kernel.overflow_events += run.kernel.overflow_events;
+    out.kernel.slab_chunks += run.kernel.slab_chunks;
+    out.kernel.peak_queue_depth =
+        std::max(out.kernel.peak_queue_depth, run.kernel.peak_queue_depth);
   }
   out.servers.cpu_idle_pct = idle / static_cast<double>(runs_.size());
   out.servers.memory_bytes = mem / static_cast<std::int64_t>(runs_.size());
@@ -52,7 +60,8 @@ namespace {
 
 void append_row(std::string& out, const RunRecord& run, bool json) {
   const auto& m = run.results.metrics;
-  char buffer[512];
+  const auto& k = run.results.kernel;
+  char buffer[768];
   if (json) {
     std::snprintf(
         buffer, sizeof(buffer),
@@ -61,7 +70,9 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         "\"rtt_stddev_ms\": %.3f, \"rtt_p95_ms\": %.3f, \"rtt_p99_ms\": "
         "%.3f, \"rtt_p100_ms\": %.3f, \"cpu_idle_pct\": %.1f, "
         "\"memory_mib\": %lld, \"events_forwarded\": %llu, \"wire_bytes\": "
-        "%lld, \"refused\": %llu, \"completed\": %s}",
+        "%lld, \"refused\": %llu, \"completed\": %s, \"sim_events\": %llu, "
+        "\"peak_queue_depth\": %llu, \"cb_heap_allocs\": %llu, "
+        "\"handle_allocs\": %llu}",
         run.scenario_id.c_str(), static_cast<unsigned long long>(run.seed),
         static_cast<unsigned long long>(m.sent()),
         static_cast<unsigned long long>(m.received()), m.loss_rate() * 100.0,
@@ -72,12 +83,16 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         static_cast<unsigned long long>(run.results.events_forwarded),
         static_cast<long long>(run.results.wire_bytes),
         static_cast<unsigned long long>(run.results.refused),
-        run.results.completed ? "true" : "false");
+        run.results.completed ? "true" : "false",
+        static_cast<unsigned long long>(k.events_executed),
+        static_cast<unsigned long long>(k.peak_queue_depth),
+        static_cast<unsigned long long>(k.callback_heap_allocs),
+        static_cast<unsigned long long>(k.handles_materialised));
   } else {
     std::snprintf(
         buffer, sizeof(buffer),
         "%s,%llu,%llu,%llu,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f,%lld,%llu,"
-        "%lld,%llu,%d",
+        "%lld,%llu,%d,%llu,%llu,%llu,%llu",
         run.scenario_id.c_str(), static_cast<unsigned long long>(run.seed),
         static_cast<unsigned long long>(m.sent()),
         static_cast<unsigned long long>(m.received()), m.loss_rate() * 100.0,
@@ -88,7 +103,11 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         static_cast<unsigned long long>(run.results.events_forwarded),
         static_cast<long long>(run.results.wire_bytes),
         static_cast<unsigned long long>(run.results.refused),
-        run.results.completed ? 1 : 0);
+        run.results.completed ? 1 : 0,
+        static_cast<unsigned long long>(k.events_executed),
+        static_cast<unsigned long long>(k.peak_queue_depth),
+        static_cast<unsigned long long>(k.callback_heap_allocs),
+        static_cast<unsigned long long>(k.handles_materialised));
   }
   out += buffer;
 }
@@ -99,7 +118,8 @@ std::string Campaign::csv() const {
   std::string out =
       "scenario,seed,sent,received,loss_pct,rtt_mean_ms,rtt_stddev_ms,"
       "rtt_p95_ms,rtt_p99_ms,rtt_p100_ms,cpu_idle_pct,memory_mib,"
-      "events_forwarded,wire_bytes,refused,completed\n";
+      "events_forwarded,wire_bytes,refused,completed,sim_events,"
+      "peak_queue_depth,cb_heap_allocs,handle_allocs\n";
   for (const auto& run : runs_) {
     append_row(out, run, /*json=*/false);
     out += '\n';

@@ -27,6 +27,16 @@ struct RunRecord {
   /// Host wall-clock seconds for this run. Excluded from csv()/json(): it
   /// is the only nondeterministic field.
   double wall_seconds = 0;
+
+  /// Kernel throughput: simulator events executed per host wall-clock
+  /// second. Derived from wall_seconds, so (like it) excluded from the
+  /// csv()/json() exports; the CLI prints it instead.
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0
+               ? static_cast<double>(results.kernel.events_executed) /
+                     wall_seconds
+               : 0.0;
+  }
 };
 
 struct CampaignOptions {

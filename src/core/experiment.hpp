@@ -16,6 +16,7 @@
 #include "core/metrics.hpp"
 #include "jms/message.hpp"
 #include "narada/transport.hpp"
+#include "sim/simulation.hpp"
 #include "util/units.hpp"
 
 namespace gridmon::core {
@@ -32,6 +33,9 @@ struct Results {
   std::int64_t wire_bytes = 0;         ///< bytes into the primary server
   std::uint64_t refused = 0;           ///< connections/producers refused
   bool completed = true;               ///< false if the run hit a hard wall
+  /// DES-kernel self-metrics for the run (deterministic: a pure function
+  /// of (scenario, duration, seed), so campaign exports may include them).
+  sim::KernelStats kernel;
 
   [[nodiscard]] bool hit_oom_wall() const { return refused > 0; }
 };

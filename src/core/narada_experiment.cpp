@@ -240,6 +240,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
   results.events_forwarded = dbn.total_stats().events_forwarded;
   results.refused = results.metrics.refused_connections();
   results.completed = results.refused == 0;
+  results.kernel = hydra.sim().kernel_stats();
   return results;
 }
 

@@ -301,6 +301,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
       mem_sum / static_cast<std::int64_t>(mem_samplers.size());
   results.refused = results.metrics.refused_connections();
   results.completed = results.refused == 0;
+  results.kernel = hydra.sim().kernel_stats();
   return results;
 }
 

@@ -114,7 +114,7 @@ class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
   int aggregation_size_ = 1;
   SimTime aggregation_delay_ = 0;
   std::vector<std::pair<jms::MessagePtr, SendCallback>> aggregation_buffer_;
-  sim::EventHandle aggregation_flush_;
+  sim::ScheduledEvent aggregation_flush_;
 
   void flush_aggregation();
 };

@@ -80,7 +80,7 @@ class ConsumerService {
   net::Endpoint registry_;
   net::HttpServer server_;
   net::HttpClient client_;
-  sim::EventHandle cycle_event_;
+  sim::ScheduledEvent cycle_event_;
 
   std::map<std::string, TableDef> tables_;
   std::map<int, ConsumerState> consumers_;

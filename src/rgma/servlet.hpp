@@ -6,10 +6,9 @@
 // broker — servlet + JDBC machinery is heavier than a raw socket loop).
 #pragma once
 
-#include <functional>
-
 #include "cluster/costs.hpp"
 #include "cluster/host.hpp"
+#include "sim/event_fn.hpp"
 
 namespace gridmon::rgma {
 
@@ -24,7 +23,7 @@ class ServletHost {
 
   /// Charge servlet dispatch plus `extra` work; run `done` at completion.
   /// `crypto_bytes` is the body size subject to encryption in secure mode.
-  void service(SimTime extra, std::function<void()> done,
+  void service(SimTime extra, sim::EventFn done,
                std::int64_t crypto_bytes = 0) {
     SimTime demand = cluster::costs::kServletRequestCost + extra;
     if (secure_) {

@@ -1,0 +1,142 @@
+// Small-buffer-optimised event callback.
+//
+// The kernel executes millions of one-shot closures per run; wrapping each
+// in std::function costs a heap allocation whenever the capture list
+// exceeds libstdc++'s tiny inline buffer (16 bytes), which almost every
+// model closure does (a shared_ptr plus a couple of ints is already over).
+// EventFn stores captures up to kInlineBytes directly inside the event
+// node and only spills to the heap beyond that. It is move-only (event
+// callbacks are consumed exactly once by the kernel, never copied) and
+// invocable multiple times (PeriodicTimer re-fires the same callable).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gridmon::sim {
+
+class EventFn {
+ public:
+  /// Captures up to this many bytes live inline in the event node. Sized
+  /// for the common model closures: a shared_ptr self + a few scalars, or
+  /// a std::function being forwarded (32 bytes in libstdc++).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): `nullptr` = no callback.
+  EventFn(std::nullptr_t) noexcept {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  EventFn(F&& f) {
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the captures spilled to the heap (kernel alloc accounting).
+  [[nodiscard]] bool on_heap() const noexcept { return ops_ && ops_->heap; }
+
+  void reset() noexcept {
+    if (ops_) {
+      // Trivially-destructible payloads (heap mode stores a raw pointer but
+      // still owns the callable, so it is never trivial here) skip the
+      // indirect call entirely.
+      if (!ops_->trivial_destroy) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+    bool heap;
+    /// memcpy of the storage buffer is a valid relocation (trivially
+    /// copyable inline payloads; heap mode, which just moves its pointer).
+    bool trivial_relocate;
+    bool trivial_destroy;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* dst, void* src) {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+      /*heap=*/false,
+      /*trivial_relocate=*/std::is_trivially_copyable_v<D>,
+      /*trivial_destroy=*/std::is_trivially_destructible_v<D>};
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
+      /*heap=*/true,
+      /*trivial_relocate=*/true,
+      /*trivial_destroy=*/false};
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      if (ops_->trivial_relocate) {
+        // Deliberately copies the full buffer: a fixed-size memcpy is three
+        // vector moves, a payload-sized one is a library call. The tail
+        // bytes past the payload are indeterminate but unsigned char makes
+        // copying them well-defined; GCC still warns.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+        std::memcpy(storage_, other.storage_, kInlineBytes);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+      } else {
+        ops_->relocate(storage_, other.storage_);
+      }
+    }
+    other.ops_ = nullptr;
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace gridmon::sim

@@ -7,22 +7,33 @@
 //
 // The kernel is single-threaded by design: the *modelled* system is highly
 // concurrent (thousands of generator threads, broker pools), but the model
-// itself needs no host parallelism — determinism and reproducibility matter
-// more for a measurement study than wall-clock speed, and virtual 30-minute
-// experiments complete in seconds.
+// itself needs no host parallelism — campaign parallelism lives strictly
+// *across* runs (core/campaign.hpp).
+//
+// Hot-path design (see DESIGN.md §5): the queue is a bucketed calendar
+// queue — a 4096-slot timer wheel of ~1 ms buckets with a binary-heap
+// overflow level for events beyond the ~4.3 s window — and event nodes are
+// recycled through a per-Simulation slab. Callbacks are EventFn (inline
+// captures up to 48 bytes), and cancellation handles are lazy: schedule_*
+// returns a free-to-discard ScheduledEvent token, and the shared control
+// block behind EventHandle is only allocated when a caller actually binds
+// one. A typical fire-and-forget event therefore allocates nothing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
 #include <string_view>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace gridmon::sim {
+
+class Simulation;
 
 /// Handle to a scheduled event; allows cancellation. Default-constructed
 /// handles are inert. Handles are cheap to copy (shared control block).
@@ -45,6 +56,53 @@ class EventHandle {
   std::shared_ptr<State> state_;
 };
 
+/// Lightweight token returned by Simulation::schedule_*. Discarding it is
+/// free — no control block exists until handle() (or the implicit
+/// EventHandle conversion) materialises one. The token itself supports O(1)
+/// allocation-free cancel()/pending() and stays safe after the event fires:
+/// a generation check makes stale tokens inert.
+class ScheduledEvent {
+ public:
+  ScheduledEvent() = default;
+
+  /// Cancel without allocating (safe no-op once fired).
+  void cancel() const;
+  [[nodiscard]] bool pending() const;
+
+  /// Materialise a copyable, shareable EventHandle (allocates the control
+  /// block on first use).
+  [[nodiscard]] EventHandle handle() const;
+  // NOLINTNEXTLINE(google-explicit-constructor): existing call sites bind
+  // schedule_*() results straight to EventHandle members.
+  operator EventHandle() const { return handle(); }
+
+ private:
+  friend class Simulation;
+  ScheduledEvent(Simulation* sim, std::uint32_t node, std::uint64_t seq)
+      : sim_(sim), node_(node), seq_(seq) {}
+  Simulation* sim_ = nullptr;
+  std::uint32_t node_ = 0;
+  std::uint64_t seq_ = 0;  ///< 0 = inert (live sequence numbers start at 1)
+};
+
+/// Kernel self-metrics for one Simulation, all deterministic functions of
+/// the run (campaign exports include them; events/sec is derived by
+/// dividing events_executed by the harness wall clock, which is the only
+/// nondeterministic factor and lives in RunRecord::wall_seconds).
+struct KernelStats {
+  std::uint64_t events_executed = 0;
+  std::uint64_t peak_queue_depth = 0;
+  /// EventFn spills: callbacks whose captures exceeded the inline buffer.
+  std::uint64_t callback_heap_allocs = 0;
+  /// Lazy EventHandle control blocks actually materialised.
+  std::uint64_t handles_materialised = 0;
+  /// Events scheduled beyond the level-1 wheel window (second-level wheel
+  /// slot or, past its ~4.9 h span, the far binary heap).
+  std::uint64_t overflow_events = 0;
+  /// Event-node slab chunks allocated (1024 nodes each).
+  std::uint64_t slab_chunks = 0;
+};
+
 class Simulation {
  public:
   explicit Simulation(std::uint64_t seed = 1);
@@ -64,56 +122,173 @@ class Simulation {
   }
 
   /// Schedule `fn` at absolute virtual time `at` (clamped to now()).
-  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+  ScheduledEvent schedule_at(SimTime at, EventFn fn);
 
   /// Schedule `fn` after `delay` (>= 0) from now.
-  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
+  ScheduledEvent schedule_after(SimTime delay, EventFn fn) {
     return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
   }
 
   /// Schedule `fn` to run at the current time, after already-queued
   /// same-time events.
-  EventHandle post(std::function<void()> fn) { return schedule_after(0, std::move(fn)); }
+  ScheduledEvent post(EventFn fn) { return schedule_after(0, std::move(fn)); }
 
   /// Run until the queue empties or `until` is reached (events at exactly
   /// `until` are executed). Returns the number of events executed.
-  std::uint64_t run_until(SimTime until);
+  std::uint64_t run_until(SimTime until) {
+    return run_loop(until, /*advance_clock=*/true);
+  }
 
   /// Run until the queue is empty.
-  std::uint64_t run();
+  std::uint64_t run() {
+    return run_loop(std::numeric_limits<SimTime>::max(),
+                    /*advance_clock=*/false);
+  }
 
   /// Request that the run loop stop after the current event.
   void stop() { stop_requested_ = true; }
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
-  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_size() const { return queue_size_; }
+
+  /// Kernel self-metrics (deterministic; see KernelStats).
+  [[nodiscard]] KernelStats kernel_stats() const {
+    KernelStats stats;
+    stats.events_executed = executed_;
+    stats.peak_queue_depth = peak_queue_depth_;
+    stats.callback_heap_allocs = callback_heap_allocs_;
+    stats.handles_materialised = handles_materialised_;
+    stats.overflow_events = overflow_events_;
+    stats.slab_chunks = chunks_.size();
+    return stats;
+  }
 
  private:
-  struct Event {
+  friend class ScheduledEvent;
+
+  // --- calendar-queue geometry ----------------------------------------------
+  // Two-level hierarchical wheel. Level 1: ~1.05 ms buckets x 4096 slots =
+  // a ~4.3 s span that swallows sub-window delays (network transits, CPU
+  // service, the R-GMA 100 ms poll). Level 2: ~4.3 s slots x 4096 = ~4.9 h;
+  // longer timers (10 s publish periods, 30 s SP delay) land here in O(1)
+  // and a whole slot is expanded into level 1 when the cursor reaches it.
+  // Events past the level-2 span (no experiment gets there) fall back to a
+  // binary heap. The level-1 window is always *aligned* to one level-2
+  // slot (l1_slot_): alignment guarantees a given bucket maps to exactly
+  // one region at any time, which keeps (time, seq) order exact.
+  static constexpr int kBucketShift = 20;
+  static constexpr int kWheelBits = 12;
+  static constexpr std::uint64_t kWheelSize = 1ull << kWheelBits;
+  static constexpr std::uint64_t kWheelMask = kWheelSize - 1;
+  static constexpr int kChunkShift = 10;  ///< 1024 slab nodes per chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+
+  struct EventNode {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  ///< 0 = free/retired (generation check)
+    EventFn fn;
+    /// Lazily materialised; empty for fire-and-forget events.
+    std::shared_ptr<EventHandle::State> state;
+    bool cancelled = false;
+  };
+
+  [[nodiscard]] EventNode& node(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & kChunkMask];
+  }
+  [[nodiscard]] const EventNode& node(std::uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & kChunkMask];
+  }
+  [[nodiscard]] static std::uint64_t bucket_of(SimTime time) {
+    return static_cast<std::uint64_t>(time) >> kBucketShift;
+  }
+
+  /// Queue entry: the ordering key travels with the slab index so heap
+  /// sifts and bucket scans stay inside the (contiguous) queue vectors and
+  /// never chase indices into the ~100-byte-stride node slab.
+  struct QueueEntry {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t index;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// (time, seq) min-order for the front/overflow heaps.
+  [[nodiscard]] static bool later(const QueueEntry& a, const QueueEntry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  std::uint32_t allocate_node();
+  void recycle_node(std::uint32_t index);
+  void enqueue(const QueueEntry& entry);
+  /// Ensure front_ holds the globally earliest pending events; false when
+  /// the whole queue is empty.
+  bool refill_front();
+  /// First occupied level-1 slot at/after the cursor (wheel_count_ > 0).
+  [[nodiscard]] std::uint64_t next_occupied_bucket() const;
+  /// First occupied level-2 slot after l1_slot_ (l2_count_ > 0).
+  [[nodiscard]] std::uint64_t next_occupied_l2_slot() const;
+  std::uint64_t run_loop(SimTime until, bool advance_clock);
+
+  // ScheduledEvent backend.
+  void cancel_event(std::uint32_t index, std::uint64_t seq);
+  [[nodiscard]] bool event_pending(std::uint32_t index,
+                                   std::uint64_t seq) const;
+  EventHandle materialise_handle(std::uint32_t index, std::uint64_t seq);
 
   SimTime now_ = 0;
   std::uint64_t seed_;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
   util::Rng root_rng_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  // Event-node slab: chunked so nodes never relocate, recycled via a free
+  // list. Indices, not pointers, flow through the queue structures.
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  std::vector<std::uint32_t> free_nodes_;
+
+  // The calendar queue. Invariants: front_ (descending (time,seq) drain
+  // stack) holds events in buckets before cursor_bucket_; level-1 wheel
+  // slots hold events whose bucket lies in level-2 slot l1_slot_ at or
+  // after the cursor; l2_ slots (> l1_slot_) hold later events; overflow_
+  // (min-heap) holds events beyond the level-2 span. Time never runs
+  // backwards, so cursor_bucket_ and l1_slot_ only grow.
+  std::vector<std::vector<QueueEntry>> wheel_;
+  std::vector<std::uint64_t> occupied_;  ///< one bit per level-1 slot
+  std::uint64_t cursor_bucket_ = 0;
+  std::uint64_t l1_slot_ = 0;  ///< level-2 slot expanded into the wheel
+  std::size_t wheel_count_ = 0;
+  std::vector<std::vector<QueueEntry>> l2_;
+  std::vector<std::uint64_t> l2_occupied_;  ///< one bit per level-2 slot
+  std::size_t l2_count_ = 0;
+  std::vector<QueueEntry> front_;
+  std::vector<QueueEntry> overflow_;
+  std::size_t queue_size_ = 0;
+
+  // Self-metrics.
+  std::uint64_t peak_queue_depth_ = 0;
+  std::uint64_t callback_heap_allocs_ = 0;
+  std::uint64_t handles_materialised_ = 0;
+  std::uint64_t overflow_events_ = 0;
 };
+
+inline void ScheduledEvent::cancel() const {
+  if (sim_ != nullptr && seq_ != 0) sim_->cancel_event(node_, seq_);
+}
+
+inline bool ScheduledEvent::pending() const {
+  return sim_ != nullptr && seq_ != 0 && sim_->event_pending(node_, seq_);
+}
+
+inline EventHandle ScheduledEvent::handle() const {
+  if (sim_ == nullptr || seq_ == 0) return EventHandle{};
+  return sim_->materialise_handle(node_, seq_);
+}
 
 /// Repeating timer: runs `fn` every `period` starting at `first_at`.
 /// Cancellation is via the returned handle chain: the timer reschedules
-/// itself, and cancelling the PeriodicTimer stops future firings.
+/// itself, and cancelling the PeriodicTimer stops future firings. The user
+/// callback is stored once in the shared Impl; each re-arm only enqueues a
+/// 16-byte weak_ptr capture, which lives inline in the event node.
 class PeriodicTimer {
  public:
   PeriodicTimer() = default;
@@ -124,7 +299,16 @@ class PeriodicTimer {
   PeriodicTimer(const PeriodicTimer&) = delete;
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
   PeriodicTimer(PeriodicTimer&&) = default;
-  PeriodicTimer& operator=(PeriodicTimer&&) = default;
+  /// Cancels any timer this object already runs before adopting the other
+  /// one — assigning over an active timer must not leak a self-re-arming
+  /// Impl (it would fire forever via the shared_ptr its events capture).
+  PeriodicTimer& operator=(PeriodicTimer&& other) noexcept {
+    if (this != &other) {
+      cancel();
+      impl_ = std::move(other.impl_);
+    }
+    return *this;
+  }
 
   void cancel();
   [[nodiscard]] bool active() const { return impl_ != nullptr && impl_->active; }
@@ -135,7 +319,7 @@ class PeriodicTimer {
     SimTime period = 0;
     std::function<void()> fn;
     bool active = true;
-    EventHandle next;
+    ScheduledEvent next;
   };
   static void arm(const std::shared_ptr<Impl>& impl, SimTime at);
   std::shared_ptr<Impl> impl_;

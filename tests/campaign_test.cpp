@@ -203,7 +203,8 @@ TEST(CampaignTest, CsvShapeIsStable) {
   EXPECT_EQ(csv.substr(0, csv.find('\n')),
             "scenario,seed,sent,received,loss_pct,rtt_mean_ms,rtt_stddev_ms,"
             "rtt_p95_ms,rtt_p99_ms,rtt_p100_ms,cpu_idle_pct,memory_mib,"
-            "events_forwarded,wire_bytes,refused,completed");
+            "events_forwarded,wire_bytes,refused,completed,sim_events,"
+            "peak_queue_depth,cb_heap_allocs,handle_allocs");
   EXPECT_NE(csv.find("test/narada/60,1,"), std::string::npos);
 }
 

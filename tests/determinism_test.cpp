@@ -1,0 +1,95 @@
+// Golden-hash determinism across the kernel queue swap.
+//
+// The event queue was rewritten (binary heap -> timer-wheel calendar queue,
+// PR 3); the contract is that scenario metrics stay *byte-identical* to the
+// seed implementation. These tests run a small Narada and a small R-GMA
+// scenario from the built-in registry through the campaign runner (jobs=1
+// and jobs=4) and compare an FNV-1a hash of the canonical metric rows
+// against hashes recorded with the seed (std::priority_queue) kernel. If a
+// queue change reorders same-time events or perturbs the clock, every
+// downstream metric shifts and these hashes move.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/registry.hpp"
+
+namespace gridmon::core {
+namespace {
+
+// Canonical row over the *seed-era* result fields only (the kernel-stats
+// columns added in PR 3 did not exist when the golden hashes were recorded).
+// Format mirrors the seed Campaign::csv() row exactly.
+std::string canonical_row(const RunRecord& run) {
+  const auto& m = run.results.metrics;
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "%s,%llu,%llu,%llu,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f,%lld,%llu,"
+      "%lld,%llu,%d",
+      run.scenario_id.c_str(), static_cast<unsigned long long>(run.seed),
+      static_cast<unsigned long long>(m.sent()),
+      static_cast<unsigned long long>(m.received()), m.loss_rate() * 100.0,
+      m.rtt_mean_ms(), m.rtt_stddev_ms(), m.rtt_percentile_ms(95),
+      m.rtt_percentile_ms(99), m.rtt_percentile_ms(100),
+      run.results.servers.cpu_idle_pct,
+      static_cast<long long>(run.results.servers.memory_bytes / units::MiB),
+      static_cast<unsigned long long>(run.results.events_forwarded),
+      static_cast<long long>(run.results.wire_bytes),
+      static_cast<unsigned long long>(run.results.refused),
+      run.results.completed ? 1 : 0);
+  return buffer;
+}
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t campaign_hash(const char* scenario_id, int jobs) {
+  CampaignOptions options;
+  options.jobs = jobs;
+  options.seeds = 2;
+  options.duration = units::minutes(1);
+  CampaignRunner runner(options);
+  EXPECT_TRUE(runner.add(builtin_registry(), scenario_id));
+  const Campaign campaign = runner.run();
+  std::string canon;
+  for (const auto& run : campaign.runs()) {
+    canon += canonical_row(run);
+    canon += '\n';
+  }
+  return fnv1a(canon);
+}
+
+// Recorded with the seed kernel (commit ffdedbd, std::priority_queue +
+// per-event shared_ptr control blocks) on the tier-1 build settings:
+// 1 virtual minute, seeds {1, 2}.
+constexpr std::uint64_t kGoldenNarada = 13780458476191480422ULL;
+constexpr std::uint64_t kGoldenRgma = 15369597596065479904ULL;
+
+TEST(KernelDeterminism, NaradaGoldenHashJobs1) {
+  EXPECT_EQ(campaign_hash("narada/comparison/80", 1), kGoldenNarada);
+}
+
+TEST(KernelDeterminism, NaradaGoldenHashJobs4) {
+  EXPECT_EQ(campaign_hash("narada/comparison/80", 4), kGoldenNarada);
+}
+
+TEST(KernelDeterminism, RgmaGoldenHashJobs1) {
+  EXPECT_EQ(campaign_hash("rgma/single/100", 1), kGoldenRgma);
+}
+
+TEST(KernelDeterminism, RgmaGoldenHashJobs4) {
+  EXPECT_EQ(campaign_hash("rgma/single/100", 4), kGoldenRgma);
+}
+
+}  // namespace
+}  // namespace gridmon::core

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace gridmon::sim {
@@ -198,6 +203,151 @@ TEST(PeriodicTimer, MoveKeepsFiring) {
   timer = PeriodicTimer(sim, 5, 5, [&] { ++fired; });
   sim.run_until(20);
   EXPECT_EQ(fired, 4);
+}
+
+// Regression: move-assigning over an active timer must cancel the old one.
+// The old Impl is kept alive by the shared_ptr its scheduled event captures,
+// so without the cancel it would re-arm (and fire) forever.
+TEST(PeriodicTimer, MoveAssignOverActiveTimerCancelsIt) {
+  Simulation sim;
+  int old_fired = 0;
+  int new_fired = 0;
+  PeriodicTimer timer(sim, 5, 5, [&] { ++old_fired; });
+  timer = PeriodicTimer(sim, 7, 7, [&] { ++new_fired; });
+  sim.run_until(70);
+  EXPECT_EQ(old_fired, 0);
+  EXPECT_EQ(new_fired, 10);
+  EXPECT_TRUE(timer.active());
+}
+
+TEST(ScheduledEvent, TokenCancelsWithoutMaterialisingAHandle) {
+  Simulation sim;
+  bool fired = false;
+  ScheduledEvent event = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(event.pending());
+  event.cancel();
+  EXPECT_FALSE(event.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.kernel_stats().handles_materialised, 0u);
+}
+
+TEST(ScheduledEvent, DefaultTokenIsInert) {
+  ScheduledEvent event;
+  EXPECT_FALSE(event.pending());
+  event.cancel();  // no crash
+  EventHandle handle = event.handle();
+  EXPECT_FALSE(handle.pending());
+}
+
+// The generation check: a token held past its event's firing must become
+// inert, even once the slab recycles the node for an unrelated event.
+TEST(ScheduledEvent, StaleTokenCannotCancelARecycledNode) {
+  Simulation sim;
+  bool first = false;
+  bool second = false;
+  ScheduledEvent stale = sim.schedule_at(1, [&] { first = true; });
+  sim.run_until(1);
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(stale.pending());
+  // The freshly recycled node is on top of the free list, so this event
+  // reuses exactly the slot `stale` still points at.
+  ScheduledEvent fresh = sim.schedule_at(2, [&] { second = true; });
+  stale.cancel();
+  EXPECT_TRUE(fresh.pending());
+  sim.run_until(2);
+  EXPECT_TRUE(second);
+}
+
+TEST(ScheduledEvent, HandleMaterialisesLazily) {
+  Simulation sim;
+  bool fired = false;
+  ScheduledEvent event = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_EQ(sim.kernel_stats().handles_materialised, 0u);
+  EventHandle handle = event;  // implicit conversion allocates the block
+  EXPECT_EQ(sim.kernel_stats().handles_materialised, 1u);
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(event.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, FarFutureEventsInterleaveWithNearOnes) {
+  Simulation sim;
+  std::vector<int> order;
+  // 30 s and 60 s are far beyond the ~4.3 s wheel window: both take the
+  // overflow heap and re-home as the cursor advances (or jump it).
+  sim.schedule_at(units::seconds(60), [&] { order.push_back(3); });
+  sim.schedule_at(units::seconds(5), [&] { order.push_back(1); });
+  sim.schedule_at(units::seconds(30), [&] { order.push_back(2); });
+  sim.schedule_at(units::milliseconds(1), [&] { order.push_back(0); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), units::seconds(60));
+  EXPECT_GT(sim.kernel_stats().overflow_events, 0u);
+}
+
+TEST(Simulation, KernelStatsCountTheRun) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  const KernelStats stats = sim.kernel_stats();
+  EXPECT_EQ(stats.events_executed, 5u);
+  EXPECT_EQ(stats.peak_queue_depth, 5u);
+  EXPECT_EQ(stats.callback_heap_allocs, 0u);
+  EXPECT_EQ(stats.handles_materialised, 0u);
+  EXPECT_EQ(stats.slab_chunks, 1u);
+}
+
+TEST(Simulation, SlabRecyclesNodesAcrossALongChain) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5000) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5000);
+  // One outstanding event at a time: the whole chain reuses one chunk.
+  EXPECT_EQ(sim.kernel_stats().slab_chunks, 1u);
+}
+
+TEST(EventFn, SmallCapturesLiveInline) {
+  int out = 0;
+  const std::uint64_t a = 1;
+  const std::uint64_t b = 2;
+  const std::uint64_t c = 3;
+  EventFn fn([&out, a, b, c] { out = static_cast<int>(a + b + c); });
+  EXPECT_FALSE(fn.on_heap());
+  EventFn moved = std::move(fn);
+  EXPECT_FALSE(fn);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  moved();
+  EXPECT_EQ(out, 6);
+}
+
+TEST(EventFn, LargeCapturesSpillToTheHeap) {
+  std::array<std::uint64_t, 16> big{};
+  big[15] = 7;
+  int out = 0;
+  EventFn fn([big, &out] { out = static_cast<int>(big[15]); });
+  EXPECT_TRUE(fn.on_heap());
+  EventFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(EventFn, NonTrivialCapturesAreMovedAndDestroyed) {
+  auto token = std::make_shared<int>(42);
+  {
+    EventFn fn([token] { (void)*token; });
+    EXPECT_FALSE(fn.on_heap());  // 16 bytes: inline, but not trivial
+    EXPECT_EQ(token.use_count(), 2);
+    EventFn moved = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+    moved();
+  }
+  EXPECT_EQ(token.use_count(), 1);
 }
 
 }  // namespace
