@@ -1,0 +1,65 @@
+// Chaos campaign: availability under injected faults, recovery vs none.
+//
+// The paper's motivating requirement (<0.5 % loss, ~5 s delivery for grid
+// monitoring) is ultimately a claim about behaviour *under failure*: real
+// R-GMA deployments attributed most loss to registry and servlet-container
+// outages, not steady-state saturation. This bench runs the chaos/* family —
+// broker crash, DBN partition, NIC flap, UDP loss burst, registry outage,
+// servlet restarts — and, where a recovery policy exists, its `_norecovery`
+// twin, reporting the availability columns: time-to-recover, loss split into
+// in-window (unavoidable, the fault ate it) vs post-window (the recovery
+// gap), late deliveries past the 5 s deadline, and recovery actions taken.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gridmon;
+
+const char* kScenarios[] = {
+    "chaos/narada/broker_crash/800",
+    "chaos/narada/broker_crash/800_norecovery",
+    "chaos/narada/dbn_partition",
+    "chaos/narada/nic_flap/400",
+    "chaos/narada/udp_loss_burst/800",
+    "chaos/rgma/registry_outage/400",
+    "chaos/rgma/registry_outage/400_norecovery",
+    "chaos/rgma/servlet_restart",
+    "chaos/rgma/servlet_restart_norecovery",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Sweep sweep;
+  for (const char* id : kScenarios) sweep.add(id);
+  sweep.run_and_register();
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::print_figure_header(
+      "Chaos", "fault injection: availability with and without recovery");
+  util::TextTable table({"scenario", "loss (%)", "TTR (ms)", "downtime (ms)",
+                         "lost in", "lost post", "late", "recovery actions"});
+  for (const char* id : kScenarios) {
+    const auto pooled = sweep.pooled(id);
+    const auto& a = pooled.availability;
+    table.add_row(
+        {id, util::TextTable::format(pooled.metrics.loss_rate() * 100.0, 4),
+         util::TextTable::format(a.time_to_recover_ms, 1),
+         util::TextTable::format(a.downtime_ms, 1),
+         std::to_string(a.lost_in_window), std::to_string(a.lost_post_window),
+         std::to_string(a.delivered_late),
+         std::to_string(a.reconnects + a.resubscribes + a.reregistrations)});
+  }
+  bench::print_table(table);
+  std::printf(
+      "Expectation: every *_norecovery twin loses strictly more and pins TTR "
+      "at the\nrun horizon; with recovery the loss concentrates in-window and "
+      "TTR stays\nbounded by the backoff schedule. The R-GMA registry outage "
+      "is the exception\nthat proves GMA's design: the data path never stops "
+      "(TTR ~0), the damage is\nconfined to producers that could not mediate "
+      "during the outage.\n");
+  return 0;
+}

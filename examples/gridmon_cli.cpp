@@ -283,18 +283,43 @@ int cmd_run(int argc, char** argv) {
     std::printf("%s", campaign.json().c_str());
     return 0;
   }
-  // Aggregated per-scenario table (pooled seeds, the paper's merge).
-  util::TextTable table({"scenario", "RTT (ms)", "STDDEV (ms)", "loss (%)",
-                         "CPU idle (%)", "mem (MB)", "refused"});
+  // Aggregated per-scenario table (pooled seeds, the paper's merge). Chaos
+  // scenarios (any injected faults) get the availability columns appended.
+  bool any_faults = false;
+  for (const auto& spec : runner.scenarios()) {
+    any_faults |= campaign.pooled(spec.id).availability.fault_events > 0;
+  }
+  std::vector<std::string> headers = {"scenario",     "RTT (ms)",
+                                      "STDDEV (ms)",  "loss (%)",
+                                      "CPU idle (%)", "mem (MB)",
+                                      "refused"};
+  if (any_faults) {
+    for (const char* h : {"faults", "TTR (ms)", "lost in", "lost post",
+                          "late", "reconnects"}) {
+      headers.emplace_back(h);
+    }
+  }
+  util::TextTable table(headers);
   for (const auto& spec : runner.scenarios()) {
     const auto pooled = campaign.pooled(spec.id);
-    table.add_row(
-        {spec.id, util::TextTable::format(pooled.metrics.rtt_mean_ms()),
-         util::TextTable::format(pooled.metrics.rtt_stddev_ms()),
-         util::TextTable::format(pooled.metrics.loss_rate() * 100.0, 4),
-         util::TextTable::format(pooled.servers.cpu_idle_pct, 1),
-         std::to_string(pooled.servers.memory_bytes / units::MiB),
-         std::to_string(pooled.refused)});
+    std::vector<std::string> row = {
+        spec.id, util::TextTable::format(pooled.metrics.rtt_mean_ms()),
+        util::TextTable::format(pooled.metrics.rtt_stddev_ms()),
+        util::TextTable::format(pooled.metrics.loss_rate() * 100.0, 4),
+        util::TextTable::format(pooled.servers.cpu_idle_pct, 1),
+        std::to_string(pooled.servers.memory_bytes / units::MiB),
+        std::to_string(pooled.refused)};
+    if (any_faults) {
+      const auto& a = pooled.availability;
+      row.push_back(std::to_string(a.fault_events));
+      row.push_back(util::TextTable::format(a.time_to_recover_ms, 1));
+      row.push_back(std::to_string(a.lost_in_window));
+      row.push_back(std::to_string(a.lost_post_window));
+      row.push_back(std::to_string(a.delivered_late));
+      row.push_back(std::to_string(a.reconnects + a.resubscribes +
+                                   a.reregistrations));
+    }
+    table.add_row(std::move(row));
   }
   std::printf("%s", table.render().c_str());
   return 0;

@@ -33,6 +33,18 @@ Results Repetitions::pooled() const {
     out.kernel.slab_chunks += run.kernel.slab_chunks;
     out.kernel.peak_queue_depth =
         std::max(out.kernel.peak_queue_depth, run.kernel.peak_queue_depth);
+    out.availability.fault_events += run.availability.fault_events;
+    out.availability.downtime_ms =
+        std::max(out.availability.downtime_ms, run.availability.downtime_ms);
+    out.availability.time_to_recover_ms =
+        std::max(out.availability.time_to_recover_ms,
+                 run.availability.time_to_recover_ms);
+    out.availability.lost_in_window += run.availability.lost_in_window;
+    out.availability.lost_post_window += run.availability.lost_post_window;
+    out.availability.delivered_late += run.availability.delivered_late;
+    out.availability.reconnects += run.availability.reconnects;
+    out.availability.resubscribes += run.availability.resubscribes;
+    out.availability.reregistrations += run.availability.reregistrations;
   }
   out.servers.cpu_idle_pct = idle / static_cast<double>(runs_.size());
   out.servers.memory_bytes = mem / static_cast<std::int64_t>(runs_.size());
@@ -61,7 +73,8 @@ namespace {
 void append_row(std::string& out, const RunRecord& run, bool json) {
   const auto& m = run.results.metrics;
   const auto& k = run.results.kernel;
-  char buffer[768];
+  const auto& a = run.results.availability;
+  char buffer[1024];
   if (json) {
     std::snprintf(
         buffer, sizeof(buffer),
@@ -72,7 +85,10 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         "\"memory_mib\": %lld, \"events_forwarded\": %llu, \"wire_bytes\": "
         "%lld, \"refused\": %llu, \"completed\": %s, \"sim_events\": %llu, "
         "\"peak_queue_depth\": %llu, \"cb_heap_allocs\": %llu, "
-        "\"handle_allocs\": %llu}",
+        "\"handle_allocs\": %llu, \"faults\": %llu, \"downtime_ms\": %.1f, "
+        "\"ttr_ms\": %.1f, \"lost_in_window\": %llu, \"lost_post_window\": "
+        "%llu, \"late\": %llu, \"reconnects\": %llu, \"resubscribes\": %llu, "
+        "\"reregistrations\": %llu}",
         run.scenario_id.c_str(), static_cast<unsigned long long>(run.seed),
         static_cast<unsigned long long>(m.sent()),
         static_cast<unsigned long long>(m.received()), m.loss_rate() * 100.0,
@@ -87,12 +103,21 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         static_cast<unsigned long long>(k.events_executed),
         static_cast<unsigned long long>(k.peak_queue_depth),
         static_cast<unsigned long long>(k.callback_heap_allocs),
-        static_cast<unsigned long long>(k.handles_materialised));
+        static_cast<unsigned long long>(k.handles_materialised),
+        static_cast<unsigned long long>(a.fault_events), a.downtime_ms,
+        a.time_to_recover_ms,
+        static_cast<unsigned long long>(a.lost_in_window),
+        static_cast<unsigned long long>(a.lost_post_window),
+        static_cast<unsigned long long>(a.delivered_late),
+        static_cast<unsigned long long>(a.reconnects),
+        static_cast<unsigned long long>(a.resubscribes),
+        static_cast<unsigned long long>(a.reregistrations));
   } else {
     std::snprintf(
         buffer, sizeof(buffer),
         "%s,%llu,%llu,%llu,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f,%lld,%llu,"
-        "%lld,%llu,%d,%llu,%llu,%llu,%llu",
+        "%lld,%llu,%d,%llu,%llu,%llu,%llu,%llu,%.1f,%.1f,%llu,%llu,%llu,"
+        "%llu,%llu,%llu",
         run.scenario_id.c_str(), static_cast<unsigned long long>(run.seed),
         static_cast<unsigned long long>(m.sent()),
         static_cast<unsigned long long>(m.received()), m.loss_rate() * 100.0,
@@ -107,7 +132,15 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         static_cast<unsigned long long>(k.events_executed),
         static_cast<unsigned long long>(k.peak_queue_depth),
         static_cast<unsigned long long>(k.callback_heap_allocs),
-        static_cast<unsigned long long>(k.handles_materialised));
+        static_cast<unsigned long long>(k.handles_materialised),
+        static_cast<unsigned long long>(a.fault_events), a.downtime_ms,
+        a.time_to_recover_ms,
+        static_cast<unsigned long long>(a.lost_in_window),
+        static_cast<unsigned long long>(a.lost_post_window),
+        static_cast<unsigned long long>(a.delivered_late),
+        static_cast<unsigned long long>(a.reconnects),
+        static_cast<unsigned long long>(a.resubscribes),
+        static_cast<unsigned long long>(a.reregistrations));
   }
   out += buffer;
 }
@@ -119,7 +152,9 @@ std::string Campaign::csv() const {
       "scenario,seed,sent,received,loss_pct,rtt_mean_ms,rtt_stddev_ms,"
       "rtt_p95_ms,rtt_p99_ms,rtt_p100_ms,cpu_idle_pct,memory_mib,"
       "events_forwarded,wire_bytes,refused,completed,sim_events,"
-      "peak_queue_depth,cb_heap_allocs,handle_allocs\n";
+      "peak_queue_depth,cb_heap_allocs,handle_allocs,faults,downtime_ms,"
+      "ttr_ms,lost_in_window,lost_post_window,late,reconnects,resubscribes,"
+      "reregistrations\n";
   for (const auto& run : runs_) {
     append_row(out, run, /*json=*/false);
     out += '\n';

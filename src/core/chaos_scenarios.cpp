@@ -1,0 +1,122 @@
+// The chaos/* scenario family: deterministic fault-injection campaigns.
+//
+// Each scenario pairs a classic experiment configuration with a FaultPlan
+// and (usually) the recovery policies, plus a `_norecovery` twin where the
+// comparison is the point: the availability columns (downtime, TTR,
+// in-window vs post-window loss) only mean something against the baseline
+// that never reconnects. Fault times are fixed virtual offsets — chaos runs
+// are exactly as deterministic as the fault-free ones.
+#include "core/registry.hpp"
+#include "core/scenarios.hpp"
+
+namespace gridmon::core {
+
+void register_chaos_scenarios(ScenarioRegistry& reg) {
+  // --- Narada ---------------------------------------------------------------
+
+  // Broker crash at steady state, 10 s dwell, then restart. With recovery,
+  // clients reconnect under capped exponential backoff and resubscribe, so
+  // only in-window traffic is lost; without it, every message after the
+  // crash is lost and TTR pins at the run horizon.
+  {
+    NaradaConfig config = scenarios::narada_single(800);
+    config.faults.broker_crash(units::seconds(15), 0, units::seconds(10));
+    config.recovery = true;
+    reg.add({"chaos/narada/broker_crash/800",
+             "Chaos: single broker crashes 15 s into steady state (10 s "
+             "dwell); clients reconnect + resubscribe",
+             config});
+    config.recovery = false;
+    reg.add({"chaos/narada/broker_crash/800_norecovery",
+             "Chaos baseline: same broker crash, no client recovery (all "
+             "post-crash traffic lost)",
+             config});
+  }
+
+  // DBN partition: the switch paths between publishing and subscribing
+  // brokers are cut for 10 s (a cable cut, not a NIC fault — client links
+  // stay up). Connections survive; cross-partition events are dropped.
+  {
+    NaradaConfig config = scenarios::narada_dbn(800);
+    config.faults.dbn_partition(units::seconds(15), units::seconds(10));
+    config.recovery = true;
+    reg.add({"chaos/narada/dbn_partition",
+             "Chaos: 4-broker DBN split pub/sub for 10 s at steady state "
+             "(inter-broker paths blocked)",
+             config});
+  }
+
+  // Subscriber NIC flap: the subscriber host drops off the LAN twice for
+  // 5 s. TCP connections persist (a yanked cable, not a close), so loss is
+  // confined to the windows — no reconnect is needed or triggered.
+  {
+    NaradaConfig config = scenarios::narada_single(400);
+    config.faults.nic_down(units::seconds(15), 1, units::seconds(5))
+        .nic_down(units::seconds(40), 1, units::seconds(5));
+    reg.add({"chaos/narada/nic_flap/400",
+             "Chaos: subscriber host NIC flaps twice (5 s each) at steady "
+             "state; loss confined to the windows",
+             config});
+  }
+
+  // UDP loss burst: LAN-wide datagram loss spikes to 30 % for 10 s on the
+  // unreliable transport (a congestion event; JMS over UDP has no recovery
+  // to offer, so there is no recovery twin).
+  {
+    NaradaConfig config = scenarios::narada_single(800);
+    config.transport = narada::TransportKind::kUdp;
+    config.faults.loss_burst(units::seconds(15), 0.30, units::seconds(10));
+    reg.add({"chaos/narada/udp_loss_burst/800",
+             "Chaos: LAN datagram loss bursts to 30% for 10 s under the UDP "
+             "transport",
+             config});
+  }
+
+  // --- R-GMA ----------------------------------------------------------------
+
+  // Registry outage during the creation ramp (anchored at run start: the
+  // directory only matters while registrations and mediation happen). Soft
+  // state is wiped; with recovery, renewal heartbeats re-register producers
+  // and consumers and mediation re-forms the attachments — GMA's data-path/
+  // directory separation means streaming itself never stops.
+  {
+    RgmaConfig config = scenarios::rgma_single(400);
+    config.faults.registry_restart(units::seconds(60), units::seconds(120),
+                                   FaultAnchor::kRunStart);
+    config.registry_ttl = units::seconds(60);
+    config.recovery = true;
+    reg.add({"chaos/rgma/registry_outage/400",
+             "Chaos: registry container down 60-180 s into the ramp (state "
+             "wiped, TTL 60 s); renewals re-register",
+             config});
+    config.recovery = false;
+    reg.add({"chaos/rgma/registry_outage/400_norecovery",
+             "Chaos baseline: same registry outage, no renewals (producers "
+             "created in or after the outage never mediate)",
+             config});
+  }
+
+  // Servlet-container restarts at steady state: the producer container dies
+  // for 10 s (tuple stores, worker threads and attachments lost), then the
+  // consumer container 30 s later. With recovery, producers re-declare on
+  // failed inserts and the subscriber re-creates its query on failed polls.
+  {
+    RgmaConfig config = scenarios::rgma_single(200);
+    config.faults
+        .producer_servlet_restart(units::seconds(15), 0, units::seconds(10))
+        .consumer_servlet_restart(units::seconds(45), 0, units::seconds(10));
+    config.registry_ttl = units::seconds(60);
+    config.recovery = true;
+    reg.add({"chaos/rgma/servlet_restart",
+             "Chaos: producer then consumer servlet containers restart (10 s "
+             "outages); clients re-declare / re-create",
+             config});
+    config.recovery = false;
+    reg.add({"chaos/rgma/servlet_restart_norecovery",
+             "Chaos baseline: same servlet restarts, no client recovery "
+             "(producers and the query stay dead)",
+             config});
+  }
+}
+
+}  // namespace gridmon::core

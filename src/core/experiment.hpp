@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/faults.hpp"
 #include "core/metrics.hpp"
 #include "jms/message.hpp"
 #include "narada/transport.hpp"
@@ -33,6 +34,9 @@ struct Results {
   std::int64_t wire_bytes = 0;         ///< bytes into the primary server
   std::uint64_t refused = 0;           ///< connections/producers refused
   bool completed = true;               ///< false if the run hit a hard wall
+  /// Availability under injected faults (all-zero when the scenario's
+  /// FaultPlan is empty).
+  Availability availability;
   /// DES-kernel self-metrics for the run (deterministic: a pure function
   /// of (scenario, duration, seed), so campaign exports may include them).
   sim::KernelStats kernel;
@@ -62,6 +66,15 @@ struct NaradaConfig {
   SimTime publish_period = units::seconds(10);
   SimTime duration = units::minutes(30);  ///< per-generator publishing window
   std::uint64_t seed = 1;
+  /// Deterministic fault schedule (empty = the classic fault-free runs).
+  FaultPlan faults;
+  /// Client recovery: reconnect with capped exponential backoff and
+  /// resubscribe after a broker crash. Off by default so the no-recovery
+  /// baseline stays reproducible.
+  bool recovery = false;
+  SimTime reconnect_backoff = units::milliseconds(500);
+  SimTime reconnect_backoff_max = units::seconds(8);
+  double reconnect_jitter = 0.2;
 };
 
 [[nodiscard]] Results run_narada_experiment(const NaradaConfig& config);
@@ -88,6 +101,19 @@ struct RgmaConfig {
   /// Legacy StreamProducer/Archiver delivery path (the API related work
   /// [11] measured; ablation for the paper's §III.F.3 discrepancy).
   bool legacy_stream_api = false;
+  /// Deterministic fault schedule (empty = the classic fault-free runs).
+  FaultPlan faults;
+  /// Recovery policies: services renew registrations (re-registering after
+  /// a registry wipe), producers re-declare after container restarts, and
+  /// consumers re-create their queries on failed polls.
+  bool recovery = false;
+  SimTime renewal_period = units::seconds(20);
+  /// Registry soft-state TTL (0 = no expiry; chaos scenarios set it so
+  /// stale entries age out and renewals matter).
+  SimTime registry_ttl = 0;
+  SimTime redeclare_backoff = units::seconds(1);
+  SimTime redeclare_backoff_max = units::seconds(10);
+  SimTime consumer_retry = units::seconds(2);
 };
 
 [[nodiscard]] Results run_rgma_experiment(const RgmaConfig& config);

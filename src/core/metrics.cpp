@@ -6,6 +6,9 @@ void Metrics::record(SimTime before_sending, SimTime after_sending,
                      SimTime before_receiving, SimTime after_receiving) {
   const double rtt = units::to_millis(after_receiving - before_sending);
   rtt_ms_.add(rtt);
+  if (deadline_ > 0 && after_receiving - before_sending > deadline_) {
+    ++delivered_late_;
+  }
   prt_ms_.add(units::to_millis(after_sending - before_sending));
   pt_ms_.add(units::to_millis(before_receiving - after_sending));
   srt_ms_.add(units::to_millis(after_receiving - before_receiving));

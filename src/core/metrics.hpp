@@ -26,8 +26,13 @@ class Metrics {
   void count_sent(std::uint64_t n = 1) { sent_ += n; }
   void count_refused_connection() { ++refused_connections_; }
 
+  /// Deadline for the delivered-late count (0 disables, the default). Grid
+  /// monitoring's soft real-time bound is 5 s end-to-end.
+  void set_deadline(SimTime deadline) { deadline_ = deadline; }
+
   [[nodiscard]] std::uint64_t sent() const { return sent_; }
   [[nodiscard]] std::uint64_t received() const { return rtt_ms_.count(); }
+  [[nodiscard]] std::uint64_t delivered_late() const { return delivered_late_; }
   [[nodiscard]] std::uint64_t refused_connections() const {
     return refused_connections_;
   }
@@ -48,6 +53,8 @@ class Metrics {
  private:
   std::uint64_t sent_ = 0;
   std::uint64_t refused_connections_ = 0;
+  SimTime deadline_ = 0;
+  std::uint64_t delivered_late_ = 0;
   util::SampleSet rtt_ms_;
   util::OnlineStats prt_ms_;
   util::OnlineStats pt_ms_;

@@ -41,6 +41,14 @@ class Generator {
     client_ = narada::NaradaClient::create(
         hydra.host(host), hydra.lan(), hydra.streams(), broker,
         net::Endpoint{host, port}, config.transport);
+    if (config.recovery) {
+      narada::ReconnectPolicy policy;
+      policy.enabled = true;
+      policy.backoff_initial = config.reconnect_backoff;
+      policy.backoff_max = config.reconnect_backoff_max;
+      policy.jitter = config.reconnect_jitter;
+      client_->set_reconnect_policy(policy);
+    }
   }
 
   void start() {
@@ -60,6 +68,12 @@ class Generator {
   }
 
   [[nodiscard]] bool refused() const { return client_->refused(); }
+  [[nodiscard]] std::uint64_t reconnects() const {
+    return client_->reconnects();
+  }
+  [[nodiscard]] std::uint64_t resubscribes() const {
+    return client_->resubscribes();
+  }
 
  private:
   void publish_next() {
@@ -73,9 +87,14 @@ class Generator {
     const std::string key = "ID:" + std::to_string(client_->local().node) +
                             "-" + std::to_string(client_->local().port) + "-" +
                             std::to_string(sequence_);
-    client_->publish(std::move(msg), [this, before, key](SimTime after) {
-      metrics_.count_sent();
-      in_flight_.emplace(key, SentRecord{before, after});
+    // Count at publish intent, not send completion: a message stuck in a
+    // disconnected client's backlog is a loss, and must be visible as one.
+    // (Fault-free runs are unchanged — every publish completes.)
+    metrics_.count_sent();
+    in_flight_.emplace(key, SentRecord{before, before});
+    client_->publish(std::move(msg), [this, key](SimTime after) {
+      const auto it = in_flight_.find(key);
+      if (it != in_flight_.end()) it->second.after_sending = after;
     });
     hydra_.sim().schedule_after(config_.publish_period,
                                 [this] { publish_next(); });
@@ -131,13 +150,16 @@ Results run_narada_experiment(const NaradaConfig& config) {
   }
 
   Results results;
+  results.metrics.set_deadline(units::seconds(5));
   std::unordered_map<std::string, SentRecord> in_flight;
+  AvailabilityTracker tracker;
 
   // Subscriber programs.
   std::vector<std::shared_ptr<narada::NaradaClient>> subscribers;
   auto make_listener = [&] {
-    return [&results, &in_flight, &hydra](const jms::MessagePtr& message,
-                                          SimTime arrived_at) {
+    return [&results, &in_flight, &hydra, &tracker](
+               const jms::MessagePtr& message, SimTime arrived_at) {
+      tracker.on_delivery(hydra.sim().now());
       const auto it = in_flight.find(message->message_id);
       if (it == in_flight.end()) return;
       results.metrics.record(it->second.before_sending,
@@ -146,6 +168,13 @@ Results run_narada_experiment(const NaradaConfig& config) {
       in_flight.erase(it);
     };
   };
+  narada::ReconnectPolicy subscriber_policy;
+  if (config.recovery) {
+    subscriber_policy.enabled = true;
+    subscriber_policy.backoff_initial = config.reconnect_backoff;
+    subscriber_policy.backoff_max = config.reconnect_backoff_max;
+    subscriber_policy.jitter = config.reconnect_jitter;
+  }
 
   if (multi_broker) {
     // One subscriber per generator node, partitioned by origin with a real
@@ -157,6 +186,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
           hydra.host(host), hydra.lan(), hydra.streams(),
           dbn.assign_subscriber_broker(), net::Endpoint{host, port++},
           config.transport);
+      if (config.recovery) sub->set_reconnect_policy(subscriber_policy);
       sub->connect([sub, host, &make_listener](bool ok) {
         if (!ok) return;
         sub->subscribe("powergrid/monitoring",
@@ -171,6 +201,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
         hydra.host(subscriber_host), hydra.lan(), hydra.streams(),
         dbn.broker_endpoint(0), net::Endpoint{subscriber_host, 9000},
         config.transport);
+    if (config.recovery) sub->set_reconnect_policy(subscriber_policy);
     const auto ack = config.ack_mode;
     sub->connect([sub, ack, &make_listener](bool ok) {
       if (!ok) return;
@@ -208,6 +239,42 @@ Results run_narada_experiment(const NaradaConfig& config) {
                                config.creation_interval * config.generators +
                                config.warmup_max;
   const SimTime measure_end = steady_begin + config.duration;
+
+  // Fault injection: hooks bridge FaultPlan events onto the LAN fabric and
+  // the broker network. All fire at fixed virtual times, so chaos runs are
+  // as deterministic as fault-free ones.
+  FaultHooks hooks;
+  hooks.set_nic = [&hydra](int node, bool down) {
+    hydra.lan().set_node_down(node, down);
+  };
+  const double base_loss = hydra_config.lan.datagram_loss;
+  hooks.set_loss = [&hydra, base_loss](double p, bool active) {
+    hydra.lan().set_datagram_loss(active ? p : base_loss);
+  };
+  hooks.set_link_loss = [&hydra](int src, int dst, double p, bool active) {
+    if (active) {
+      hydra.lan().set_link_loss(src, dst, p);
+    } else {
+      hydra.lan().clear_link_loss(src, dst);
+    }
+  };
+  hooks.set_partition = [&hydra, &config](bool active) {
+    // Split the DBN down the middle: publishing brokers (first half) lose
+    // the switch path to subscribing brokers (second half).
+    const auto& hosts = config.broker_hosts;
+    const std::size_t half = hosts.size() / 2;
+    if (half == 0) return;
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t j = half; j < hosts.size(); ++j) {
+        hydra.lan().set_path_blocked(hosts[i], hosts[j], active);
+      }
+    }
+  };
+  hooks.crash_broker = [&dbn](int b) { dbn.broker(b).crash(); };
+  hooks.restart_broker = [&dbn](int b) { dbn.broker(b).restart(); };
+  FaultInjector injector(hydra.sim(), config.faults, hooks);
+  injector.arm(steady_begin);
+  tracker.set_windows(injector.windows());
   std::vector<std::unique_ptr<cluster::VmstatSampler>> mem_samplers;
   std::vector<std::unique_ptr<cluster::VmstatSampler>> cpu_samplers;
   for (int host : config.broker_hosts) {
@@ -241,6 +308,23 @@ Results run_narada_experiment(const NaradaConfig& config) {
   results.refused = results.metrics.refused_connections();
   results.completed = results.refused == 0;
   results.kernel = hydra.sim().kernel_stats();
+
+  // Availability: classify every undelivered message against the fault
+  // windows (sums are order-independent), then fold in recovery effort.
+  for (const auto& [key, sent] : in_flight) {
+    tracker.classify_loss(sent.before_sending);
+  }
+  results.availability = tracker.finalise(horizon);
+  results.availability.fault_events = injector.injected();
+  results.availability.delivered_late = results.metrics.delivered_late();
+  for (const auto& gen : fleet) {
+    results.availability.reconnects += gen->reconnects();
+    results.availability.resubscribes += gen->resubscribes();
+  }
+  for (const auto& sub : subscribers) {
+    results.availability.reconnects += sub->reconnects();
+    results.availability.resubscribes += sub->resubscribes();
+  }
   return results;
 }
 

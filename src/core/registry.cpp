@@ -9,6 +9,8 @@ namespace gridmon::core {
 // Defined in ablation_scenarios.cpp: the two ablations with bespoke
 // topologies (sender-side aggregation, Web-Services proxies).
 void register_ablation_scenarios(ScenarioRegistry& registry);
+// Defined in chaos_scenarios.cpp: the chaos/* fault-injection family.
+void register_chaos_scenarios(ScenarioRegistry& registry);
 
 const char* ScenarioSpec::system() const {
   if (std::holds_alternative<NaradaConfig>(config)) return "narada";
@@ -211,6 +213,7 @@ ScenarioRegistry build_catalogue() {
   }
 
   register_ablation_scenarios(reg);
+  register_chaos_scenarios(reg);
   return reg;
 }
 

@@ -32,16 +32,27 @@ class RgmaGenerator {
   RgmaGenerator(cluster::Hydra& hydra, int host, net::HttpClient& http,
                 net::Endpoint service, const RgmaConfig& config,
                 std::int64_t id, Metrics& metrics,
-                std::unordered_map<std::int64_t, SentRecord>& in_flight)
+                std::unordered_map<std::int64_t, SentRecord>& in_flight,
+                AvailabilityTracker& tracker)
       : hydra_(hydra),
         config_(config),
         id_(id),
         metrics_(metrics),
         in_flight_(in_flight),
+        tracker_(tracker),
         rng_(hydra.sim().rng_stream("rgma.generator").stream(
             static_cast<std::uint64_t>(id))),
         producer_(hydra.host(host), http, service, static_cast<int>(id),
-                  kTable) {}
+                  kTable) {
+    if (config.recovery) {
+      producer_.enable_redeclare(config.redeclare_backoff,
+                                 config.redeclare_backoff_max);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t redeclares() const {
+    return producer_.redeclares();
+  }
 
   void start() {
     producer_.declare([this](bool ok) {
@@ -76,11 +87,20 @@ class RgmaGenerator {
     const SimTime before = hydra_.sim().now();
     const std::int64_t seq = sequence_++;
     auto row = make_generator_row(id_, seq, before, rng_);
+    // Count at insert intent: a 503 from a crashed container is a loss and
+    // must be visible as one. (Fault-free runs are unchanged — inserts by
+    // declared producers always succeed.)
+    metrics_.count_sent();
+    in_flight_.emplace(row_key(id_, seq), SentRecord{before, before});
     producer_.insert(std::move(row), [this, before, seq](bool ok,
                                                          SimTime after) {
+      const auto it = in_flight_.find(row_key(id_, seq));
+      if (it == in_flight_.end()) return;
       if (ok) {
-        metrics_.count_sent();
-        in_flight_.emplace(row_key(id_, seq), SentRecord{before, after});
+        it->second.after_sending = after;
+      } else {
+        tracker_.classify_loss(before);
+        in_flight_.erase(it);
       }
     });
     hydra_.sim().schedule_after(config_.publish_period,
@@ -92,6 +112,7 @@ class RgmaGenerator {
   std::int64_t id_;
   Metrics& metrics_;
   std::unordered_map<std::int64_t, SentRecord>& in_flight_;
+  AvailabilityTracker& tracker_;
   util::Rng rng_;
   rgma::PrimaryProducer producer_;
   std::int64_t sequence_ = 0;
@@ -106,27 +127,41 @@ class Subscriber {
   Subscriber(cluster::Hydra& hydra, int host, net::HttpClient& http,
              net::Endpoint consumer_service, int consumer_id,
              std::string query, SimTime poll_period, Metrics& metrics,
-             std::unordered_map<std::int64_t, SentRecord>& in_flight)
+             std::unordered_map<std::int64_t, SentRecord>& in_flight,
+             AvailabilityTracker& tracker, SimTime create_retry = 0)
       : hydra_(hydra),
         consumer_(hydra.host(host), http, consumer_service, consumer_id,
                   std::move(query)),
         poll_period_(poll_period),
         metrics_(metrics),
-        in_flight_(in_flight) {}
+        in_flight_(in_flight),
+        tracker_(tracker),
+        create_retry_(create_retry) {
+    if (create_retry > 0) consumer_.enable_retry(create_retry);
+  }
 
   void start() {
     consumer_.create([this](bool ok) {
       if (!ok) {
         GRIDMON_WARN("rgma.subscriber") << "consumer creation refused";
+        if (create_retry_ > 0) {
+          hydra_.sim().schedule_after(create_retry_, [this] { start(); });
+        }
         return;
       }
-      timer_ = sim::PeriodicTimer(
-          hydra_.sim(), hydra_.sim().now() + poll_period_, poll_period_,
-          [this] { poll(); });
+      if (!timer_.active()) {
+        timer_ = sim::PeriodicTimer(
+            hydra_.sim(), hydra_.sim().now() + poll_period_, poll_period_,
+            [this] { poll(); });
+      }
     });
   }
 
   void stop() { timer_.cancel(); }
+
+  [[nodiscard]] std::uint64_t recreates() const {
+    return consumer_.recreates();
+  }
 
  private:
   void poll() {
@@ -144,6 +179,7 @@ class Subscriber {
         if (id == nullptr || seq == nullptr) continue;
         const auto it = in_flight_.find(row_key(*id, *seq));
         if (it == in_flight_.end()) continue;
+        tracker_.on_delivery(now);
         metrics_.record(it->second.before_sending, it->second.after_sending,
                         before_receiving, now);
         in_flight_.erase(it);
@@ -156,6 +192,8 @@ class Subscriber {
   SimTime poll_period_;
   Metrics& metrics_;
   std::unordered_map<std::int64_t, SentRecord>& in_flight_;
+  AvailabilityTracker& tracker_;
+  SimTime create_retry_;
   sim::PeriodicTimer timer_;
   bool polling_ = false;
 };
@@ -187,8 +225,26 @@ Results run_rgma_experiment(const RgmaConfig& config) {
     network.create_table(generator_table(kSecondaryTable));
   }
 
+  // Soft-state expiry and renewal heartbeats (the recovery policy that
+  // rebuilds a wiped registry purely from periodic re-assertions).
+  if (config.registry_ttl > 0) {
+    network.registry().set_registration_ttl(config.registry_ttl);
+  }
+  if (config.recovery) {
+    for (int i = 0; i < network.producer_service_count(); ++i) {
+      network.producer_service(i).enable_registration_renewal(
+          config.renewal_period);
+    }
+    for (int i = 0; i < network.consumer_service_count(); ++i) {
+      network.consumer_service(i).enable_registration_renewal(
+          config.renewal_period);
+    }
+  }
+
   Results results;
+  results.metrics.set_deadline(units::seconds(5));
   std::unordered_map<std::int64_t, SentRecord> in_flight;
+  AvailabilityTracker tracker;
 
   // Client hosts: 4–7 run generator programs and the subscriber(s).
   const std::vector<int> client_hosts = {4, 5, 6, 7};
@@ -239,7 +295,8 @@ Results run_rgma_experiment(const RgmaConfig& config) {
         hydra, client_hosts[static_cast<std::size_t>(c) % client_hosts.size()],
         http_for(static_cast<std::size_t>(c)),
         network.consumer_service(c).endpoint(), 800000 + c, std::move(query),
-        config.poll_period, results.metrics, in_flight));
+        config.poll_period, results.metrics, in_flight, tracker,
+        config.recovery ? config.consumer_retry : SimTime{0}));
     hydra.sim().schedule_at(kStartTime / 2, [sub = subscribers.back().get()] {
       sub->start();
     });
@@ -253,7 +310,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
     fleet.push_back(std::make_unique<RgmaGenerator>(
         hydra, client_hosts[client], http_for(client),
         network.assign_producer_service(), config, g, results.metrics,
-        in_flight));
+        in_flight, tracker));
     hydra.sim().schedule_at(kStartTime + config.creation_interval * g,
                             [gen = fleet.back().get()] { gen->start(); });
   }
@@ -269,6 +326,47 @@ Results run_rgma_experiment(const RgmaConfig& config) {
                                config.creation_interval * config.producers +
                                config.warmup_max;
   const SimTime measure_end = steady_begin + config.duration;
+
+  // Fault injection: bridge FaultPlan events onto the LAN and the R-GMA
+  // service containers. All fire at fixed virtual times.
+  FaultHooks hooks;
+  hooks.set_nic = [&hydra](int node, bool down) {
+    hydra.lan().set_node_down(node, down);
+  };
+  hooks.set_link_loss = [&hydra](int src, int dst, double p, bool active) {
+    if (active) {
+      hydra.lan().set_link_loss(src, dst, p);
+    } else {
+      hydra.lan().clear_link_loss(src, dst);
+    }
+  };
+  hooks.set_registry_down = [&network](bool down) {
+    if (down) {
+      network.registry().crash();
+    } else {
+      network.registry().restart();
+    }
+  };
+  hooks.set_producer_servlet_down = [&network](int i, bool down) {
+    if (i < 0 || i >= network.producer_service_count()) return;
+    if (down) {
+      network.producer_service(i).crash();
+    } else {
+      network.producer_service(i).restart();
+    }
+  };
+  hooks.set_consumer_servlet_down = [&network](int i, bool down) {
+    if (i < 0 || i >= network.consumer_service_count()) return;
+    if (down) {
+      network.consumer_service(i).crash();
+    } else {
+      network.consumer_service(i).restart();
+    }
+  };
+  hooks.expire_registrations = [&network] { network.registry().expire_now(); };
+  FaultInjector injector(hydra.sim(), config.faults, hooks);
+  injector.arm(steady_begin);
+  tracker.set_windows(injector.windows());
   std::vector<std::unique_ptr<cluster::VmstatSampler>> mem_samplers;
   std::vector<std::unique_ptr<cluster::VmstatSampler>> cpu_samplers;
   for (int host : server_hosts) {
@@ -289,7 +387,8 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   const SimTime drain = units::seconds(30) + config.secondary_delay +
                         (config.via_secondary_producer ? units::seconds(30)
                                                        : SimTime{0});
-  hydra.sim().run_until(measure_end + drain);
+  const SimTime horizon = measure_end + drain;
+  hydra.sim().run_until(horizon);
 
   double idle_sum = 0.0;
   std::int64_t mem_sum = 0;
@@ -302,6 +401,23 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   results.refused = results.metrics.refused_connections();
   results.completed = results.refused == 0;
   results.kernel = hydra.sim().kernel_stats();
+
+  // Availability: classify undelivered rows against the fault windows
+  // (order-independent sums), then fold in recovery effort.
+  for (const auto& [key, sent] : in_flight) {
+    tracker.classify_loss(sent.before_sending);
+  }
+  results.availability = tracker.finalise(horizon);
+  results.availability.fault_events = injector.injected();
+  results.availability.delivered_late = results.metrics.delivered_late();
+  results.availability.reregistrations =
+      network.registry().reregistrations();
+  for (const auto& gen : fleet) {
+    results.availability.reregistrations += gen->redeclares();
+  }
+  for (const auto& sub : subscribers) {
+    results.availability.resubscribes += sub->recreates();
+  }
   return results;
 }
 

@@ -19,10 +19,49 @@ Broker::Broker(cluster::Host& host, net::Lan& lan,
                                  std::to_string(config.broker_id))) {}
 
 Broker::~Broker() {
-  if (started_) {
+  if (started_ && !crashed_) {
     streams_.close_listener(config_.endpoint);
     if (lan_.bound(config_.endpoint)) lan_.unbind(config_.endpoint);
   }
+}
+
+void Broker::crash() {
+  if (!started_ || crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  streams_.close_listener(config_.endpoint);
+  if (lan_.bound(config_.endpoint)) lan_.unbind(config_.endpoint);
+  // Tear down every client link; the process's threads and buffers go with
+  // it. Clients observe the close (their reconnect policy takes over).
+  for (auto& conn : client_conns_) {
+    if (config_.transport == TransportKind::kNio) {
+      host_.heap().release(costs::kConnectionBufferBytes);
+    } else {
+      host_.exit_thread(costs::kConnectionBufferBytes);
+    }
+    if (conn && conn->open()) conn->close();
+  }
+  client_conns_.clear();
+  for (const auto& sub : subscriptions_) {
+    if (sub.via_udp) host_.heap().release(costs::kConnectionBufferBytes / 4);
+  }
+  subscriptions_.clear();
+  queue_cursor_.clear();
+  udp_pending_.clear();
+  GRIDMON_WARN("narada.broker")
+      << "broker " << config_.broker_id << " crashed";
+}
+
+void Broker::restart() {
+  if (!started_ || !crashed_) return;
+  crashed_ = false;
+  streams_.listen(config_.endpoint, [this](net::StreamConnectionPtr conn) {
+    on_stream_accept(std::move(conn));
+  });
+  lan_.bind(config_.endpoint,
+            [this](const net::Datagram& dg) { on_udp_datagram(dg); });
+  GRIDMON_WARN("narada.broker")
+      << "broker " << config_.broker_id << " restarted";
 }
 
 void Broker::start() {
@@ -51,6 +90,10 @@ void Broker::start() {
 }
 
 void Broker::on_stream_accept(net::StreamConnectionPtr conn) {
+  if (crashed_) {
+    conn->close();
+    return;
+  }
   // Blocking TCP dedicates a thread per connection; NIO only allocates
   // connection buffers on the shared selector loop.
   bool admitted;
@@ -74,9 +117,16 @@ void Broker::on_stream_accept(net::StreamConnectionPtr conn) {
     return;
   }
   ++stats_.connections_accepted;
-  conn->set_handler(1, [this, conn](const net::Datagram& dg) {
-    on_client_frame(conn, dg);
-  });
+  client_conns_.push_back(conn);
+  // Weak capture: the handler lives inside the connection, so a by-value
+  // shared_ptr would form a self-cycle that outlives broker and client.
+  // client_conns_ (and any in-flight frame events) keep the connection
+  // alive for as long as the handler can still fire.
+  conn->set_handler(
+      1, [this, wconn = std::weak_ptr<net::StreamConnection>(conn)](
+             const net::Datagram& dg) {
+        if (auto conn = wconn.lock()) on_client_frame(conn, dg);
+      });
   // Welcome handshake: client treats close-before-welcome as refusal.
   Frame welcome;
   welcome.kind = FrameKind::kDeliver;
@@ -86,6 +136,7 @@ void Broker::on_stream_accept(net::StreamConnectionPtr conn) {
 
 void Broker::on_client_frame(const net::StreamConnectionPtr& conn,
                              const net::Datagram& datagram) {
+  if (crashed_) return;
   const auto frame = std::any_cast<FramePtr>(datagram.payload);
   switch (frame->kind) {
     case FrameKind::kSubscribe: {
@@ -129,6 +180,7 @@ void Broker::on_client_frame(const net::StreamConnectionPtr& conn,
 }
 
 void Broker::on_udp_datagram(const net::Datagram& datagram) {
+  if (crashed_) return;
   if (!datagram.payload.has_value()) return;
   const auto* maybe = std::any_cast<FramePtr>(&datagram.payload);
   if (maybe == nullptr || !*maybe) return;
@@ -181,6 +233,7 @@ SimTime Broker::event_service_demand(std::int64_t bytes, int fanout) const {
 }
 
 void Broker::ingest_publish(const FramePtr& frame) {
+  if (crashed_) return;  // e.g. a deferred NIO selector wakeup post-crash
   ++stats_.events_received;
   const bool aggregated = !frame->batch.empty();
   if (!aggregated && !frame->message) return;
@@ -394,6 +447,7 @@ void Broker::add_peer(int peer_id, net::StreamConnectionPtr conn, int side) {
 
 void Broker::on_peer_frame(std::size_t peer_index,
                            const net::Datagram& datagram) {
+  if (crashed_) return;  // peer traffic into a dead process is lost
   const auto frame = std::any_cast<FramePtr>(datagram.payload);
   switch (frame->kind) {
     case FrameKind::kPeerSubscribe: {

@@ -57,6 +57,7 @@ struct BrokerStats {
   std::uint64_t events_forwarded = 0;    ///< relays to peer brokers
   std::uint64_t events_from_peers = 0;
   std::uint64_t udp_acks_sent = 0;
+  std::uint64_t crashes = 0;             ///< fault-injected crash/restarts
 };
 
 class Broker {
@@ -70,6 +71,18 @@ class Broker {
 
   /// Begin listening (stream) and bind the UDP port.
   void start();
+
+  /// Fault injection: kill the broker process. The listener closes, every
+  /// client connection is torn down (their threads/buffers are reclaimed),
+  /// and all soft state — subscriptions, queue cursors, pending UDP acks —
+  /// is lost. Inter-broker links are owned by the DBN controller and assumed
+  /// warm across the restart (the unit-controller keeps them up); chaos DBN
+  /// scenarios cut them explicitly via Lan::set_path_blocked instead.
+  void crash();
+  /// Bring a crashed broker back up, empty: clients must reconnect and
+  /// resubscribe before they see traffic again.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
   /// Wire this broker into a network: `conn` is an established inter-broker
   /// stream, `side` our side of it. Called by the Dbn assembler.
@@ -137,6 +150,9 @@ class Broker {
   util::Rng rng_;
 
   std::vector<Subscription> subscriptions_;
+  /// Stream connections accepted from clients, kept so crash() can tear
+  /// them down and return their thread/buffer accounting.
+  std::vector<net::StreamConnectionPtr> client_conns_;
   std::vector<Peer> peers_;
   /// Topic interest advertised by each broker in the network (flooded
   /// kPeerSubscribe frames, deduplicated by (origin, topic)).
@@ -150,6 +166,7 @@ class Broker {
   std::deque<FramePtr> udp_pending_;
   sim::PeriodicTimer udp_ack_timer_;
   bool started_ = false;
+  bool crashed_ = false;
 
   BrokerStats stats_;
 };

@@ -1,5 +1,7 @@
 #include "narada/client.hpp"
 
+#include <algorithm>
+
 #include "cluster/costs.hpp"
 
 namespace gridmon::narada {
@@ -27,6 +29,22 @@ NaradaClient::~NaradaClient() {
   if (udp_bound_) lan_.unbind(local_);
 }
 
+void NaradaClient::notify_ready(bool ok) {
+  auto callback = std::move(on_ready_);
+  on_ready_ = nullptr;
+  if (callback) callback(ok);
+}
+
+void NaradaClient::set_reconnect_policy(ReconnectPolicy policy) {
+  reconnect_ = policy;
+  // Deterministic jitter: a named kernel stream keyed by the client's
+  // endpoint, independent of event-arrival order.
+  reconnect_rng_ = host_.sim()
+                       .rng_stream("narada.reconnect")
+                       .stream((static_cast<std::uint64_t>(local_.node) << 16) |
+                               local_.port);
+}
+
 void NaradaClient::connect(ReadyHandler on_ready) {
   on_ready_ = std::move(on_ready);
   if (transport_ == TransportKind::kUdp) {
@@ -37,7 +55,7 @@ void NaradaClient::connect(ReadyHandler on_ready) {
     });
     udp_bound_ = true;
     ready_ = true;
-    if (on_ready_) on_ready_(true);
+    notify_ready(true);
     while (!backlog_.empty()) {
       FramePtr frame = backlog_.front();
       backlog_.pop_front();
@@ -52,26 +70,94 @@ void NaradaClient::connect(ReadyHandler on_ready) {
     if (!client) return;
     if (!conn) {
       client->refused_ = true;
-      if (client->on_ready_) client->on_ready_(false);
+      client->notify_ready(false);
       return;
     }
-    client->conn_ = conn;
-    conn->set_handler(
-        0,
-        [self](const net::Datagram& dg) {
-          if (auto c = self.lock()) c->on_frame(dg);
-        },
-        [self] {
-          auto c = self.lock();
-          if (!c) return;
-          if (!c->ready_) {
-            // Closed before the welcome frame: the broker refused us
-            // (out of memory creating the connection thread).
-            c->refused_ = true;
-            if (c->on_ready_) c->on_ready_(false);
-          }
-        });
+    client->adopt_connection(std::move(conn));
   });
+}
+
+void NaradaClient::adopt_connection(net::StreamConnectionPtr conn) {
+  conn_ = conn;
+  auto self = weak_from_this();
+  conn->set_handler(
+      0,
+      [self](const net::Datagram& dg) {
+        if (auto c = self.lock()) c->on_frame(dg);
+      },
+      [self] {
+        auto c = self.lock();
+        if (!c) return;
+        if (!c->ready_) {
+          if (c->reconnecting_) {
+            // A reconnect attempt died before its welcome frame (broker
+            // still down, or down again): back off and retry.
+            c->schedule_reconnect();
+            return;
+          }
+          // Closed before the welcome frame: the broker refused us
+          // (out of memory creating the connection thread).
+          c->refused_ = true;
+          c->notify_ready(false);
+          return;
+        }
+        // Established link lost (broker crash, NIC failure). Without a
+        // reconnect policy this is permanent — the no-recovery baseline.
+        c->ready_ = false;
+        c->conn_.reset();
+        if (c->reconnect_.enabled) c->schedule_reconnect();
+      });
+}
+
+void NaradaClient::schedule_reconnect() {
+  if (reconnect_.max_attempts > 0 &&
+      reconnect_attempt_ >= reconnect_.max_attempts) {
+    reconnecting_ = false;
+    return;
+  }
+  reconnecting_ = true;
+  ++reconnect_attempt_;
+  ++reconnects_;
+  double delay = static_cast<double>(reconnect_.backoff_initial);
+  for (int i = 1; i < reconnect_attempt_; ++i) {
+    delay *= reconnect_.multiplier;
+    if (delay >= static_cast<double>(reconnect_.backoff_max)) break;
+  }
+  delay = std::min(delay, static_cast<double>(reconnect_.backoff_max));
+  if (reconnect_.jitter > 0.0) {
+    delay *= 1.0 + reconnect_rng_.uniform(0.0, reconnect_.jitter);
+  }
+  host_.sim().schedule_after(
+      static_cast<SimTime>(delay),
+      [self = weak_from_this()] {
+        if (auto c = self.lock()) c->attempt_reconnect();
+      });
+}
+
+void NaradaClient::attempt_reconnect() {
+  streams_.connect(local_, broker_, [self = weak_from_this()](
+                                        net::StreamConnectionPtr conn) {
+    auto c = self.lock();
+    if (!c) return;
+    if (!conn) {
+      // Listener still closed: the broker has not restarted yet.
+      c->schedule_reconnect();
+      return;
+    }
+    c->adopt_connection(std::move(conn));
+  });
+}
+
+void NaradaClient::resubscribe() {
+  ++resubscribes_;
+  Frame frame;
+  frame.kind = FrameKind::kSubscribe;
+  frame.topic = subscribed_topic_;
+  frame.is_queue = subscribed_is_queue_;
+  frame.selector = subscribed_selector_;
+  frame.ack_mode = ack_mode_;
+  frame.reply_to = local_;
+  send_frame(std::make_shared<const Frame>(std::move(frame)));
 }
 
 void NaradaClient::send_frame(FramePtr frame) {
@@ -92,6 +178,9 @@ void NaradaClient::subscribe(const std::string& topic,
                              jms::AcknowledgeMode ack_mode,
                              DeliveryListener listener) {
   subscribed_topic_ = topic;
+  subscribed_selector_ = selector;
+  subscribed_is_queue_ = false;
+  has_subscription_ = true;
   ack_mode_ = ack_mode;
   listener_ = std::move(listener);
 
@@ -106,6 +195,9 @@ void NaradaClient::receive_from_queue(const std::string& queue,
                                       jms::AcknowledgeMode ack_mode,
                                       DeliveryListener listener) {
   subscribed_topic_ = queue;
+  subscribed_selector_ = selector;
+  subscribed_is_queue_ = true;
+  has_subscription_ = true;
   ack_mode_ = ack_mode;
   listener_ = std::move(listener);
 
@@ -238,7 +330,13 @@ void NaradaClient::on_frame(const net::Datagram& datagram) {
   if (frame->kind == FrameKind::kDeliver && frame->topic == "$welcome") {
     if (!ready_) {
       ready_ = true;
-      if (on_ready_) on_ready_(true);
+      const bool was_reconnect = reconnecting_;
+      reconnecting_ = false;
+      reconnect_attempt_ = 0;
+      notify_ready(true);
+      // Re-establish broker-side state lost in the crash before flushing
+      // anything the application published during the outage.
+      if (was_reconnect && has_subscription_) resubscribe();
       while (!backlog_.empty()) {
         FramePtr queued = backlog_.front();
         backlog_.pop_front();

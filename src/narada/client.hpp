@@ -20,8 +20,23 @@
 #include "narada/frames.hpp"
 #include "narada/transport.hpp"
 #include "net/stream.hpp"
+#include "util/rng.hpp"
 
 namespace gridmon::narada {
+
+/// Client-side recovery knob: when an established broker link drops, retry
+/// the connection with capped exponential backoff. Jitter is deterministic —
+/// drawn from a named kernel RNG stream keyed by the client's endpoint — so
+/// chaos runs stay a pure function of (scenario, duration, seed).
+struct ReconnectPolicy {
+  bool enabled = false;
+  SimTime backoff_initial = units::milliseconds(500);
+  SimTime backoff_max = units::seconds(8);
+  double multiplier = 2.0;
+  /// Each delay is stretched by uniform[0, jitter] of itself.
+  double jitter = 0.2;
+  int max_attempts = 0;  ///< 0 = keep trying until the run ends
+};
 
 class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
  public:
@@ -73,10 +88,17 @@ class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
   void enable_aggregation(int batch_size,
                           SimTime max_delay = units::milliseconds(100));
 
+  /// Install the recovery policy (call before or after connect). Without a
+  /// policy a lost link is permanent: sends are silently dropped, the
+  /// paper-faithful no-recovery baseline.
+  void set_reconnect_policy(ReconnectPolicy policy);
+
   [[nodiscard]] bool ready() const { return ready_; }
   [[nodiscard]] bool refused() const { return refused_; }
   [[nodiscard]] std::uint64_t published() const { return published_; }
   [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+  [[nodiscard]] std::uint64_t resubscribes() const { return resubscribes_; }
   [[nodiscard]] net::Endpoint local() const { return local_; }
 
  private:
@@ -87,6 +109,15 @@ class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
   void send_frame(FramePtr frame);
   void on_frame(const net::Datagram& datagram);
   void handle_deliver(const FramePtr& frame, SimTime arrived_at);
+  /// Invoke and clear the ready handler. One-shot semantics: keeping the
+  /// handler alive held whatever the caller captured (typically its own
+  /// shared_ptr to this client) for the client's whole lifetime — a
+  /// reference cycle that leaked every client under ASan.
+  void notify_ready(bool ok);
+  void adopt_connection(net::StreamConnectionPtr conn);
+  void schedule_reconnect();
+  void attempt_reconnect();
+  void resubscribe();
 
   cluster::Host& host_;
   net::Lan& lan_;
@@ -103,8 +134,19 @@ class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
   std::deque<FramePtr> backlog_;
 
   std::string subscribed_topic_;
+  std::string subscribed_selector_;
+  bool subscribed_is_queue_ = false;
+  bool has_subscription_ = false;
   jms::AcknowledgeMode ack_mode_ = jms::AcknowledgeMode::kAutoAcknowledge;
   DeliveryListener listener_;
+
+  // Recovery state.
+  ReconnectPolicy reconnect_;
+  util::Rng reconnect_rng_;
+  int reconnect_attempt_ = 0;
+  bool reconnecting_ = false;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t resubscribes_ = 0;
 
   std::uint64_t next_message_seq_ = 1;
   std::uint64_t published_ = 0;

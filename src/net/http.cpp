@@ -14,9 +14,14 @@ HttpServer::HttpServer(StreamTransport& transport, Endpoint endpoint,
 HttpServer::~HttpServer() { transport_.close_listener(endpoint_); }
 
 void HttpServer::on_accept(StreamConnectionPtr conn) {
-  // Capture the connection by value in its own receive handler; the
-  // connection stays alive as long as either side can still deliver.
-  conn->set_handler(1, [this, conn](const Datagram& dg) {
+  // Weak capture: the handler lives inside the connection, so a by-value
+  // shared_ptr would form a self-cycle. The client's channel (and any
+  // in-flight frame events) own the connection; a pending response closure
+  // re-takes a strong ref so late replies still find a live connection.
+  conn->set_handler(1, [this, wconn = std::weak_ptr<StreamConnection>(conn)](
+                           const Datagram& dg) {
+    auto conn = wconn.lock();
+    if (!conn) return;
     const auto req = std::any_cast<std::shared_ptr<HttpRequest>>(dg.payload);
     ++served_;
     const std::uint64_t correlation = req->correlation_id;

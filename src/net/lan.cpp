@@ -43,7 +43,36 @@ bool Lan::bound(Endpoint ep) const { return handlers_.contains(ep); }
 
 void Lan::set_node_down(NodeId node, bool down) {
   check_node(node);
+  if (node_down_[static_cast<std::size_t>(node)] == down) return;
   node_down_[static_cast<std::size_t>(node)] = down;
+  ++nic_transitions_;
+}
+
+void Lan::set_link_loss(NodeId src, NodeId dst, double p) {
+  check_node(src);
+  check_node(dst);
+  link_loss_[pair_key(src, dst)] = p;
+}
+
+void Lan::clear_link_loss(NodeId src, NodeId dst) {
+  link_loss_.erase(pair_key(src, dst));
+}
+
+void Lan::set_path_blocked(NodeId a, NodeId b, bool blocked) {
+  check_node(a);
+  check_node(b);
+  const std::uint64_t key = a < b ? pair_key(a, b) : pair_key(b, a);
+  if (blocked) {
+    blocked_paths_.insert(key);
+  } else {
+    blocked_paths_.erase(key);
+  }
+}
+
+bool Lan::path_blocked(NodeId a, NodeId b) const {
+  if (blocked_paths_.empty()) return false;
+  const std::uint64_t key = a < b ? pair_key(a, b) : pair_key(b, a);
+  return blocked_paths_.contains(key);
 }
 
 bool Lan::node_down(NodeId node) const {
@@ -84,18 +113,25 @@ void Lan::send_datagram(Endpoint src, Endpoint dst, std::int64_t bytes,
   check_node(dst.node);
   ++datagrams_sent_;
   if (node_down_[static_cast<std::size_t>(src.node)] ||
-      node_down_[static_cast<std::size_t>(dst.node)]) {
+      node_down_[static_cast<std::size_t>(dst.node)] ||
+      path_blocked(src.node, dst.node)) {
     ++datagrams_dropped_;
     return;
   }
 
   // Loss applies per wire fragment; a datagram survives only if all of its
-  // fragments do.
+  // fragments do. A per-link override (fault injection) takes precedence
+  // over the LAN-wide probability.
+  double loss = config_.datagram_loss;
+  if (!link_loss_.empty()) {
+    const auto it = link_loss_.find(pair_key(src.node, dst.node));
+    if (it != link_loss_.end()) loss = it->second;
+  }
   const auto fragments =
       static_cast<int>((bytes + kMaxSegmentBytes - 1) / kMaxSegmentBytes);
-  if (config_.datagram_loss > 0.0) {
+  if (loss > 0.0) {
     for (int f = 0; f < (fragments > 0 ? fragments : 1); ++f) {
-      if (loss_rng_.chance(config_.datagram_loss)) {
+      if (loss_rng_.chance(loss)) {
         ++datagrams_dropped_;
         return;
       }
@@ -112,6 +148,13 @@ void Lan::send_datagram(Endpoint src, Endpoint dst, std::int64_t bytes,
 
   const SimTime arrival = frame_transit(src.node, dst.node, bytes);
   sim_.schedule_at(arrival, [this, dg = std::move(dg)]() mutable {
+    // In-flight frames die with the receiving NIC or a cut path: a datagram
+    // launched before the fault still never arrives.
+    if (node_down_[static_cast<std::size_t>(dg.dst.node)] ||
+        path_blocked(dg.src.node, dg.dst.node)) {
+      ++datagrams_dropped_;
+      return;
+    }
     const auto it = handlers_.find(dg.dst);
     if (it != handlers_.end()) it->second(dg);
     // Datagrams to unbound ports are silently dropped, like real UDP.

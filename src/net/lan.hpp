@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/address.hpp"
@@ -61,10 +62,28 @@ class Lan {
   void set_datagram_loss(double p) { config_.datagram_loss = p; }
 
   /// Failure injection: take a node's NIC down (frames to and from it are
-  /// dropped on the floor) or bring it back. Established stream connections
-  /// silently lose traffic while a peer is down — like a yanked cable.
+  /// dropped on the floor — including frames already in flight when the NIC
+  /// drops) or bring it back. Established stream connections silently lose
+  /// traffic while a peer is down — like a yanked cable. Idempotent:
+  /// down→down / up→up are no-ops (see nic_transitions()).
   void set_node_down(NodeId node, bool down);
   [[nodiscard]] bool node_down(NodeId node) const;
+  /// Actual NIC state changes (redundant set_node_down calls don't count).
+  [[nodiscard]] std::uint64_t nic_transitions() const {
+    return nic_transitions_;
+  }
+
+  /// Failure injection: per-link datagram-loss override for src→dst traffic
+  /// (takes precedence over the LAN-wide probability while set).
+  void set_link_loss(NodeId src, NodeId dst, double p);
+  void clear_link_loss(NodeId src, NodeId dst);
+
+  /// Failure injection: block the (symmetric) switch path between two nodes;
+  /// frames between them — including frames in flight — are dropped while
+  /// blocked. Models cutting one inter-broker cable without touching either
+  /// NIC.
+  void set_path_blocked(NodeId a, NodeId b, bool blocked);
+  [[nodiscard]] bool path_blocked(NodeId a, NodeId b) const;
 
   /// Timing primitive: when would a frame of `bytes` (payload, before frame
   /// overhead) entering the fabric *now* arrive at `dst`? Consumes link
@@ -78,6 +97,10 @@ class Lan {
 
  private:
   void check_node(NodeId node) const;
+  [[nodiscard]] static std::uint64_t pair_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
 
   sim::Simulation& sim_;
   LanConfig config_;
@@ -89,6 +112,9 @@ class Lan {
   std::uint64_t datagrams_sent_ = 0;
   std::uint64_t datagrams_dropped_ = 0;
   std::vector<bool> node_down_;
+  std::uint64_t nic_transitions_ = 0;
+  std::unordered_map<std::uint64_t, double> link_loss_;   ///< src→dst key
+  std::unordered_set<std::uint64_t> blocked_paths_;       ///< min→max key
 };
 
 }  // namespace gridmon::net

@@ -30,7 +30,9 @@ void StreamConnection::send(int from_side, std::int64_t bytes,
   // TCP stack would retransmit and eventually reset; the model simply
   // loses the message, which is what the application observes either way).
   if (lan_.node_down(sides_[from_side].local.node) ||
-      lan_.node_down(sides_[1 - from_side].local.node)) {
+      lan_.node_down(sides_[1 - from_side].local.node) ||
+      lan_.path_blocked(sides_[from_side].local.node,
+                        sides_[1 - from_side].local.node)) {
     return;
   }
   const int to_side = 1 - from_side;
@@ -48,6 +50,12 @@ void StreamConnection::send(int from_side, std::int64_t bytes,
   lan_.simulation().schedule_at(
       arrival, [self, to_side, dg = std::move(dg)]() mutable {
         if (!self->open_) return;
+        // Frames still in flight when the receiving NIC drops (or the switch
+        // path is cut) are lost, exactly like datagrams.
+        if (self->lan_.node_down(dg.dst.node) ||
+            self->lan_.path_blocked(dg.src.node, dg.dst.node)) {
+          return;
+        }
         // Receiver's TCP stack acks the segment train; the ack consumes
         // reverse bandwidth but nothing waits for it.
         self->lan_.frame_transit(dg.dst.node, dg.src.node, kControlBytes);
@@ -90,8 +98,12 @@ void StreamTransport::connect(Endpoint local, Endpoint remote,
   sim.schedule_at(syn, [this, local, remote,
                         on_connected = std::move(on_connected)]() mutable {
     const auto listener = listeners_.find(remote);
-    if (listener == listeners_.end()) {
-      // Connection refused: RST back to the client.
+    if (listener == listeners_.end() || lan_.node_down(remote.node) ||
+        lan_.node_down(local.node) ||
+        lan_.path_blocked(local.node, remote.node)) {
+      // No listener, a dead NIC, or a cut path: the handshake fails. (A real
+      // stack distinguishes RST from SYN timeout; the application sees a
+      // failed connect either way, so both collapse onto the refusal path.)
       const SimTime rst =
           lan_.frame_transit(remote.node, local.node, kControlBytes);
       lan_.simulation().schedule_at(

@@ -61,10 +61,41 @@ void PrimaryProducer::insert(
                   [this, on_done = std::move(on_done)](
                       const net::HttpResponse& resp) {
                     ++inserts_;
+                    if (resp.status != 200 && redeclare_enabled_) {
+                      schedule_redeclare();
+                    }
                     if (on_done) {
                       on_done(resp.status == 200, host_.sim().now());
                     }
                   });
+  });
+}
+
+void PrimaryProducer::enable_redeclare(SimTime backoff, SimTime backoff_max) {
+  redeclare_enabled_ = true;
+  redeclare_backoff_ = backoff;
+  redeclare_backoff_max_ = backoff_max;
+}
+
+void PrimaryProducer::schedule_redeclare() {
+  if (redeclaring_) return;
+  redeclaring_ = true;
+  ++redeclares_;
+  SimTime delay = redeclare_backoff_;
+  for (int i = 0; i < redeclare_attempt_ && delay < redeclare_backoff_max_;
+       ++i) {
+    delay *= 2;
+  }
+  if (delay > redeclare_backoff_max_) delay = redeclare_backoff_max_;
+  ++redeclare_attempt_;
+  host_.sim().schedule_after(delay, [this] {
+    declare([this](bool ok) {
+      // Leave redeclaring_ set until the response: while the service is
+      // still down, failed inserts in the meantime must not stack extra
+      // redeclare attempts.
+      redeclaring_ = false;
+      if (ok) redeclare_attempt_ = 0;
+    });
   });
 }
 
@@ -145,6 +176,9 @@ void Consumer::poll(std::function<void(std::vector<Tuple>, SimTime)>
                               &resp.body)) {
                     tuples = (*payload)->tuples;
                   }
+                  if (resp.status != 200 && retry_enabled_) {
+                    schedule_recreate();
+                  }
                   // Deserialising the result set costs client CPU.
                   const SimTime demand =
                       costs::kClientReceiveBase +
@@ -157,6 +191,23 @@ void Consumer::poll(std::function<void(std::vector<Tuple>, SimTime)>
                         on_tuples(std::move(tuples), issued);
                       });
                 });
+}
+
+void Consumer::enable_retry(SimTime timeout) {
+  retry_enabled_ = true;
+  retry_timeout_ = timeout;
+}
+
+void Consumer::schedule_recreate() {
+  if (recreating_) return;
+  recreating_ = true;
+  ++recreates_;
+  host_.sim().schedule_after(retry_timeout_, [this] {
+    create([this](bool ok) {
+      recreating_ = false;
+      (void)ok;  // a failed re-create re-arms off the next failed poll
+    });
+  });
 }
 
 }  // namespace gridmon::rgma

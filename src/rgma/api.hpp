@@ -36,12 +36,21 @@ class PrimaryProducer {
   void insert(std::vector<SqlValue> row,
               std::function<void(bool ok, SimTime after_sending)> on_done = {});
 
+  /// Recovery policy: when an insert fails (producer container restarted,
+  /// or the producer expired server-side), re-declare the producer after a
+  /// capped exponential backoff. One redeclare is in flight at a time; the
+  /// backoff resets on success.
+  void enable_redeclare(SimTime backoff, SimTime backoff_max);
+
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] bool declared() const { return declared_; }
   [[nodiscard]] bool refused() const { return refused_; }
   [[nodiscard]] std::uint64_t inserts() const { return inserts_; }
+  [[nodiscard]] std::uint64_t redeclares() const { return redeclares_; }
 
  private:
+  void schedule_redeclare();
+
   cluster::Host& host_;
   net::HttpClient& http_;
   net::Endpoint service_;
@@ -52,6 +61,12 @@ class PrimaryProducer {
   bool declared_ = false;
   bool refused_ = false;
   std::uint64_t inserts_ = 0;
+  bool redeclare_enabled_ = false;
+  SimTime redeclare_backoff_ = 0;
+  SimTime redeclare_backoff_max_ = 0;
+  int redeclare_attempt_ = 0;
+  bool redeclaring_ = false;
+  std::uint64_t redeclares_ = 0;
 };
 
 class Consumer {
@@ -82,13 +97,20 @@ class Consumer {
     one_time(QueryType::kHistory, std::move(on_tuples));
   }
 
+  /// Recovery policy: when a poll fails (404 after a consumer-container
+  /// restart, or 503 while it is down), re-create the continuous query
+  /// after `timeout`. One re-create is in flight at a time.
+  void enable_retry(SimTime timeout);
+
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] bool created() const { return created_; }
   [[nodiscard]] bool refused() const { return refused_; }
+  [[nodiscard]] std::uint64_t recreates() const { return recreates_; }
 
  private:
   void one_time(QueryType type,
                 std::function<void(std::vector<Tuple>, SimTime)> on_tuples);
+  void schedule_recreate();
 
   cluster::Host& host_;
   net::HttpClient& http_;
@@ -97,6 +119,10 @@ class Consumer {
   std::string query_;
   bool created_ = false;
   bool refused_ = false;
+  bool retry_enabled_ = false;
+  SimTime retry_timeout_ = 0;
+  bool recreating_ = false;
+  std::uint64_t recreates_ = 0;
 };
 
 }  // namespace gridmon::rgma

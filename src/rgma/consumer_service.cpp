@@ -40,8 +40,59 @@ void ConsumerService::arm_cycle() {
       cycle_length(), [this] { evaluation_cycle(); });
 }
 
+void ConsumerService::enable_registration_renewal(SimTime period) {
+  renewal_timer_.cancel();
+  if (period <= 0) return;
+  auto& sim = servlet_.host().sim();
+  renewal_timer_ = sim::PeriodicTimer(sim, sim.now() + period, period, [this] {
+    for (const auto& [id, consumer] : consumers_) {
+      servlet_.charge(units::microseconds(60));
+      net::HttpRequest reg;
+      reg.path = kRegistryPath;
+      reg.body_bytes = 128;
+      reg.body = std::shared_ptr<const RegisterConsumerRequest>(
+          std::make_shared<RegisterConsumerRequest>(RegisterConsumerRequest{
+              id, consumer.query, endpoint_}));
+      client_.request(registry_, std::move(reg),
+                      [](const net::HttpResponse&) {});
+    }
+  });
+}
+
+void ConsumerService::crash() {
+  if (down_) return;
+  down_ = true;
+  for (auto& [id, consumer] : consumers_) {
+    servlet_.host().exit_thread(costs::kRgmaConnectionBytes -
+                                costs::kThreadStackBytes);
+    if (consumer.buffered_bytes > 0) {
+      servlet_.host().heap().release(consumer.buffered_bytes);
+    }
+  }
+  consumers_.clear();
+  incoming_.clear();
+  if (queued_bytes_ > 0) servlet_.host().heap().release(queued_bytes_);
+  queued_bytes_ = 0;
+  known_producers_.clear();
+  GRIDMON_WARN("rgma.consumer") << "consumer container crashed";
+}
+
+void ConsumerService::restart() {
+  if (!down_) return;
+  down_ = false;
+  GRIDMON_WARN("rgma.consumer") << "consumer container restarted (empty)";
+}
+
 void ConsumerService::handle(const net::HttpRequest& request,
                              net::HttpServer::Responder respond) {
+  if (down_) {
+    // Dead container: the front-end returns 503 without servlet work.
+    net::HttpResponse resp;
+    resp.status = 503;
+    resp.body_bytes = 16;
+    respond(std::move(resp));
+    return;
+  }
   // Stream batches are the hot path: enqueue for the evaluation cycle.
   if (const auto* batch = std::any_cast<std::shared_ptr<const StreamBatch>>(
           &request.body)) {
@@ -129,6 +180,7 @@ void ConsumerService::handle_create(const CreateConsumerRequest& req,
     ConsumerState state;
     state.id = req.consumer_id;
     state.table = select->table;
+    state.query = req.query;
     state.predicate = select->where;
     state.columns = select->columns;
     consumers_.emplace(req.consumer_id, std::move(state));
@@ -337,6 +389,10 @@ void ConsumerService::handle_poll(const PollRequest& req,
     it->second.buffer.clear();
     servlet_.host().heap().release(it->second.buffered_bytes);
     it->second.buffered_bytes = 0;
+  } else {
+    // A container restart wiped this consumer; tell the client so its
+    // retry policy can re-create it instead of polling an empty void.
+    resp.status = 404;
   }
   std::int64_t bytes = 16;
   for (const auto& tuple : payload->tuples) bytes += tuple.wire_size();

@@ -48,6 +48,19 @@ class ConsumerService {
   /// evaluation cycle and append directly to consumer buffers.
   void set_legacy_stream_api(bool legacy) { legacy_stream_api_ = legacy; }
 
+  /// Periodically re-send every consumer's registration to the registry
+  /// (soft-state heartbeats; the registry upserts, so steady-state renewals
+  /// are cheap and only a wiped registry triggers re-mediation).
+  void enable_registration_renewal(SimTime period);
+
+  /// Fault injection: the servlet container dies. Consumer state (result
+  /// buffers, worker threads, queued batches) is lost and its memory
+  /// reclaimed; requests fail with 503 until restart(). Clients must
+  /// re-create their consumers to resume receiving.
+  void crash();
+  void restart();
+  [[nodiscard]] bool down() const { return down_; }
+
   [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }
   [[nodiscard]] const ConsumerServiceStats& stats() const { return stats_; }
   [[nodiscard]] int attached_producers() const {
@@ -60,6 +73,7 @@ class ConsumerService {
   struct ConsumerState {
     int id = 0;
     std::string table;
+    std::string query;  ///< original SELECT text (re-sent on renewal)
     sql::ExprPtr predicate;
     std::vector<std::string> columns;  ///< empty = *
     std::vector<Tuple> buffer;
@@ -81,6 +95,7 @@ class ConsumerService {
   net::HttpServer server_;
   net::HttpClient client_;
   sim::ScheduledEvent cycle_event_;
+  sim::PeriodicTimer renewal_timer_;
 
   std::map<std::string, TableDef> tables_;
   std::map<int, ConsumerState> consumers_;
@@ -88,6 +103,7 @@ class ConsumerService {
   std::deque<StreamBatch> incoming_;
   std::int64_t queued_bytes_ = 0;
   bool legacy_stream_api_ = false;
+  bool down_ = false;
 
   ConsumerServiceStats stats_;
 };

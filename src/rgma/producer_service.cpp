@@ -54,8 +54,10 @@ void ProducerService::enable_registration_renewal(SimTime period) {
     auto renewal = std::make_shared<RenewRegistrationsRequest>();
     renewal->producer_service = endpoint_;
     renewal->producer_ids.reserve(producers_.size());
+    renewal->tables.reserve(producers_.size());
     for (const auto& [id, producer] : producers_) {
       renewal->producer_ids.push_back(id);
+      renewal->tables.push_back(producer.table);
     }
     servlet_.charge(units::microseconds(120));
     net::HttpRequest req;
@@ -67,8 +69,37 @@ void ProducerService::enable_registration_renewal(SimTime period) {
   });
 }
 
+void ProducerService::crash() {
+  if (down_) return;
+  down_ = true;
+  // Tear down every producer: worker thread + servlet state + stored tuples.
+  for (auto& [id, producer] : producers_) {
+    servlet_.host().exit_thread(costs::kRgmaConnectionBytes -
+                                costs::kThreadStackBytes);
+    if (producer.stored_bytes > 0) {
+      servlet_.host().heap().release(producer.stored_bytes);
+    }
+  }
+  producers_.clear();
+  GRIDMON_WARN("rgma.producer") << "producer container crashed";
+}
+
+void ProducerService::restart() {
+  if (!down_) return;
+  down_ = false;
+  GRIDMON_WARN("rgma.producer") << "producer container restarted (empty)";
+}
+
 void ProducerService::handle(const net::HttpRequest& request,
                              net::HttpServer::Responder respond) {
+  if (down_) {
+    // Dead container: the front-end returns 503 without servlet work.
+    net::HttpResponse resp;
+    resp.status = 503;
+    resp.body_bytes = 16;
+    respond(std::move(resp));
+    return;
+  }
   // Attach notices come from the registry's mediator, not a client thread.
   if (const auto* attach =
           std::any_cast<std::shared_ptr<const AttachConsumerNotice>>(
@@ -225,6 +256,15 @@ void ProducerService::handle_attach(const AttachConsumerNotice& notice) {
   const auto it = producers_.find(notice.producer_id);
   if (it == producers_.end()) return;
   ProducerState& producer = it->second;
+  // Re-mediation after a registry restart re-sends attach notices for pairs
+  // that are already streaming; keeping the existing cursor avoids replaying
+  // tuples the consumer has already seen.
+  for (const Attachment& existing : producer.consumers) {
+    if (existing.consumer_id == notice.consumer_id &&
+        existing.consumer_service == notice.consumer_service) {
+      return;
+    }
+  }
   Attachment attachment;
   attachment.consumer_id = notice.consumer_id;
   attachment.consumer_service = notice.consumer_service;

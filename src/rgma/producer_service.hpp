@@ -49,6 +49,14 @@ class ProducerService {
   /// (soft-state heartbeats; pair with RegistryService::set_registration_ttl).
   void enable_registration_renewal(SimTime period);
 
+  /// Fault injection: the servlet container dies. Producer state (tuple
+  /// stores, worker threads, attachments) is lost and its memory reclaimed;
+  /// requests fail with 503 until restart(). Clients must re-declare their
+  /// producers to resume publishing.
+  void crash();
+  void restart();
+  [[nodiscard]] bool down() const { return down_; }
+
   [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }
   [[nodiscard]] const ProducerServiceStats& stats() const { return stats_; }
   [[nodiscard]] int producer_count() const { return static_cast<int>(producers_.size()); }
@@ -86,6 +94,7 @@ class ProducerService {
   std::map<std::string, TableDef> tables_;
   std::map<int, ProducerState> producers_;
   ProducerServiceStats stats_;
+  bool down_ = false;
 };
 
 }  // namespace gridmon::rgma

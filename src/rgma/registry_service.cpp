@@ -51,8 +51,31 @@ RegistryService::RegistryService(cluster::Host& host,
                                        static_cast<std::uint16_t>(
                                            endpoint.port + 2000)}) {}
 
+void RegistryService::crash() {
+  if (down_) return;
+  down_ = true;
+  // Soft state dies with the container; nothing is persisted.
+  producers_.clear();
+  consumers_.clear();
+  GRIDMON_WARN("rgma.registry") << "registry container crashed";
+}
+
+void RegistryService::restart() {
+  if (!down_) return;
+  down_ = false;
+  GRIDMON_WARN("rgma.registry") << "registry container restarted (empty)";
+}
+
 void RegistryService::handle(const net::HttpRequest& request,
                              net::HttpServer::Responder respond) {
+  if (down_) {
+    // Dead container: the front-end returns 503 without servlet work.
+    net::HttpResponse resp;
+    resp.status = 503;
+    resp.body_bytes = 16;
+    respond(std::move(resp));
+    return;
+  }
   // Producer lookups (mediation for one-time queries) return a list rather
   // than a status.
   if (const auto* lookup =
@@ -143,14 +166,24 @@ void RegistryService::expire_stale() {
 
 void RegistryService::handle_renewals(const RenewRegistrationsRequest& req) {
   const SimTime now = servlet_.host().sim().now();
-  for (ProducerReg& producer : producers_) {
-    if (producer.service != req.producer_service) continue;
-    for (int id : req.producer_ids) {
-      if (producer.id == id) {
+  for (std::size_t i = 0; i < req.producer_ids.size(); ++i) {
+    const int id = req.producer_ids[i];
+    bool known = false;
+    for (ProducerReg& producer : producers_) {
+      if (producer.id == id && producer.service == req.producer_service) {
         producer.last_renewed = now;
+        known = true;
         break;
       }
     }
+    if (known) continue;
+    // The registry lost this producer (restart wiped it, or it expired).
+    // When the renewal carries the table, rebuild the entry — including
+    // mediation, so severed consumer attachments re-form.
+    if (i >= req.tables.size() || !schema_.contains(req.tables[i])) continue;
+    ++reregistrations_;
+    handle_register_producer(
+        RegisterProducerRequest{id, req.tables[i], req.producer_service});
   }
 }
 
@@ -164,6 +197,21 @@ void RegistryService::handle_register_producer(
     const RegisterProducerRequest& req) {
   if (!schema_.contains(req.table)) {
     throw std::runtime_error("table not in schema: " + req.table);
+  }
+  // Upsert: an *explicit* re-registration (this path, not the renewal
+  // heartbeat) means the producer's container restarted and lost its
+  // attachments — refresh the lease and re-run mediation so streaming
+  // re-forms. The producer service dedupes attach notices by (consumer,
+  // service), so a spurious re-register cannot duplicate deliveries.
+  for (ProducerReg& existing : producers_) {
+    if (existing.id == req.producer_id &&
+        existing.service == req.producer_service) {
+      existing.last_renewed = servlet_.host().sim().now();
+      for (const ConsumerReg& consumer : consumers_) {
+        if (consumer.table == existing.table) mediate(existing, consumer);
+      }
+      return;
+    }
   }
   producers_.push_back(ProducerReg{req.producer_id, req.table,
                                    req.producer_service,
@@ -179,6 +227,14 @@ void RegistryService::handle_register_consumer(
   const ParsedQuery parsed = split_query(req.query);
   if (!schema_.contains(parsed.table)) {
     throw std::runtime_error("table not in schema: " + parsed.table);
+  }
+  // Upsert, mirroring producers: consumer-service renewals re-send the
+  // registration; only a genuinely unknown consumer triggers mediation.
+  for (const ConsumerReg& existing : consumers_) {
+    if (existing.id == req.consumer_id &&
+        existing.service == req.consumer_service) {
+      return;
+    }
   }
   consumers_.push_back(ConsumerReg{req.consumer_id, parsed.table,
                                    parsed.predicate_text,

@@ -34,6 +34,16 @@ class RegistryService {
   /// disappear from lookups and mediation (0 disables, the default).
   void set_registration_ttl(SimTime ttl);
 
+  /// Fault injection: the registry's servlet container dies. All soft state
+  /// (producer and consumer registrations) is wiped — the directory is
+  /// rebuilt purely from renewals and re-registrations, GMA's soft-state
+  /// design point. Requests meanwhile fail with 503.
+  void crash();
+  void restart();
+  [[nodiscard]] bool down() const { return down_; }
+  /// Fault injection: run one soft-state expiry sweep immediately.
+  void expire_now() { expire_stale(); }
+
   /// Deployment-time schema bootstrap (tables are normally created via the
   /// Schema servlet; experiments install them before the run starts).
   void add_table(const TableDef& table) { schema_.emplace(table.name(), table); }
@@ -84,10 +94,17 @@ class RegistryService {
   SimTime registration_ttl_ = 0;
   sim::PeriodicTimer expiry_timer_;
   std::uint64_t expired_count_ = 0;
+  bool down_ = false;
+  std::uint64_t reregistrations_ = 0;
 
  public:
   [[nodiscard]] std::uint64_t expired_registrations() const {
     return expired_count_;
+  }
+  /// Producers re-added through the renewal path after the registry lost
+  /// them (restart or expiry) — each re-mediates against known consumers.
+  [[nodiscard]] std::uint64_t reregistrations() const {
+    return reregistrations_;
   }
 };
 

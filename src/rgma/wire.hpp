@@ -115,6 +115,10 @@ struct OneTimeQueryRequest {
 struct RenewRegistrationsRequest {
   net::Endpoint producer_service;
   std::vector<int> producer_ids;
+  /// Table per producer id (parallel to producer_ids). Lets the registry
+  /// re-register a producer it no longer knows — the recovery path after a
+  /// registry restart wiped its soft state.
+  std::vector<std::string> tables;
 };
 
 /// Registry lookup: which producers currently publish `table`?

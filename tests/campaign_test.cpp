@@ -54,6 +54,12 @@ const std::vector<std::string> kSection4Ids = {
     "ablation/aggregation/4", "ablation/aggregation/8",
     "ablation/aggregation/16", "ablation/aggregation/32",
     "ablation/webservices/binary", "ablation/webservices/soap",
+    // Chaos: fault injection + recovery (DESIGN.md §5)
+    "chaos/narada/broker_crash/800", "chaos/narada/broker_crash/800_norecovery",
+    "chaos/narada/dbn_partition", "chaos/narada/nic_flap/400",
+    "chaos/narada/udp_loss_burst/800", "chaos/rgma/registry_outage/400",
+    "chaos/rgma/registry_outage/400_norecovery", "chaos/rgma/servlet_restart",
+    "chaos/rgma/servlet_restart_norecovery",
 };
 
 TEST(RegistryTest, ResolvesEveryDesignSection4Id) {
@@ -204,7 +210,9 @@ TEST(CampaignTest, CsvShapeIsStable) {
             "scenario,seed,sent,received,loss_pct,rtt_mean_ms,rtt_stddev_ms,"
             "rtt_p95_ms,rtt_p99_ms,rtt_p100_ms,cpu_idle_pct,memory_mib,"
             "events_forwarded,wire_bytes,refused,completed,sim_events,"
-            "peak_queue_depth,cb_heap_allocs,handle_allocs");
+            "peak_queue_depth,cb_heap_allocs,handle_allocs,faults,"
+            "downtime_ms,ttr_ms,lost_in_window,lost_post_window,late,"
+            "reconnects,resubscribes,reregistrations");
   EXPECT_NE(csv.find("test/narada/60,1,"), std::string::npos);
 }
 

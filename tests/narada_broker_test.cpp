@@ -230,8 +230,10 @@ TEST_F(BrokerFixture, ClientAckModeAddsLatency) {
                                     TransportKind::kTcp);
     util::OnlineStats rtt;
     sub->connect([&, ack](bool) {
+      // `ack` must be captured by value: the enclosing ready-handler closure
+      // is destroyed once it fires, while deliveries keep arriving.
       sub->subscribe("t", "", ack,
-                     [&](const jms::MessagePtr& msg, SimTime) {
+                     [&, ack](const jms::MessagePtr& msg, SimTime) {
                        rtt.add(units::to_millis(fresh.sim().now() -
                                                 msg->timestamp));
                        if (ack == jms::AcknowledgeMode::kClientAcknowledge) {

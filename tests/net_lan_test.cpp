@@ -154,6 +154,107 @@ TEST(Lan, BytesToNodeAccounting) {
   EXPECT_EQ(lan.bytes_to_node(2), 0);
 }
 
+TEST(Lan, NodeDownDropsInFlightFrames) {
+  sim::Simulation sim;
+  Lan lan(sim, test_config());
+  int received = 0;
+  lan.bind(Endpoint{1, 1}, [&](const Datagram&) { ++received; });
+  lan.send_datagram(Endpoint{0, 1}, Endpoint{1, 1}, 500, std::any{});
+  // The frame is in flight (transit takes ~100 us); yank the cable first.
+  sim.schedule_at(units::microseconds(5), [&] { lan.set_node_down(1, true); });
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(lan.datagrams_dropped(), 1u);
+}
+
+TEST(Lan, NodeDownBeforeFirstFrameDropsAtSource) {
+  sim::Simulation sim;
+  Lan lan(sim, test_config());
+  int received = 0;
+  lan.bind(Endpoint{1, 1}, [&](const Datagram&) { ++received; });
+  lan.set_node_down(1, true);
+  lan.send_datagram(Endpoint{0, 1}, Endpoint{1, 1}, 100, std::any{});
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(lan.datagrams_dropped(), 1u);
+  // Frames *from* a downed node are also dropped.
+  lan.set_node_down(1, false);
+  lan.set_node_down(0, true);
+  lan.send_datagram(Endpoint{0, 1}, Endpoint{1, 1}, 100, std::any{});
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(lan.datagrams_dropped(), 2u);
+}
+
+TEST(Lan, SetNodeDownIsIdempotent) {
+  sim::Simulation sim;
+  Lan lan(sim, test_config());
+  EXPECT_EQ(lan.nic_transitions(), 0u);
+  lan.set_node_down(2, false);  // up -> up: no-op
+  EXPECT_EQ(lan.nic_transitions(), 0u);
+  lan.set_node_down(2, true);
+  lan.set_node_down(2, true);  // down -> down: no-op
+  EXPECT_TRUE(lan.node_down(2));
+  EXPECT_EQ(lan.nic_transitions(), 1u);
+  lan.set_node_down(2, false);
+  lan.set_node_down(2, false);
+  EXPECT_FALSE(lan.node_down(2));
+  EXPECT_EQ(lan.nic_transitions(), 2u);
+}
+
+TEST(Lan, RecoveredNodeDeliversAgain) {
+  sim::Simulation sim;
+  Lan lan(sim, test_config());
+  int received = 0;
+  lan.bind(Endpoint{1, 1}, [&](const Datagram&) { ++received; });
+  lan.set_node_down(1, true);
+  lan.send_datagram(Endpoint{0, 1}, Endpoint{1, 1}, 100, std::any{});
+  sim.run();
+  lan.set_node_down(1, false);
+  lan.send_datagram(Endpoint{0, 1}, Endpoint{1, 1}, 100, std::any{});
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Lan, LinkLossOverrideIsDirectedAndClearable) {
+  sim::Simulation sim;
+  Lan lan(sim, test_config());
+  int to_1 = 0;
+  int to_0 = 0;
+  lan.bind(Endpoint{1, 1}, [&](const Datagram&) { ++to_1; });
+  lan.bind(Endpoint{0, 1}, [&](const Datagram&) { ++to_0; });
+  lan.set_link_loss(0, 1, 1.0);  // certain loss, 0 -> 1 only
+  for (int i = 0; i < 10; ++i) {
+    lan.send_datagram(Endpoint{0, 1}, Endpoint{1, 1}, 100, std::any{});
+    lan.send_datagram(Endpoint{1, 1}, Endpoint{0, 1}, 100, std::any{});
+  }
+  sim.run();
+  EXPECT_EQ(to_1, 0);
+  EXPECT_EQ(to_0, 10);
+  lan.clear_link_loss(0, 1);
+  lan.send_datagram(Endpoint{0, 1}, Endpoint{1, 1}, 100, std::any{});
+  sim.run();
+  EXPECT_EQ(to_1, 1);
+}
+
+TEST(Lan, BlockedPathIsSymmetricAndSelective) {
+  sim::Simulation sim;
+  Lan lan(sim, test_config());
+  int received = 0;
+  lan.bind(Endpoint{1, 1}, [&](const Datagram&) { ++received; });
+  lan.bind(Endpoint{3, 1}, [&](const Datagram&) { ++received; });
+  lan.set_path_blocked(0, 1, true);
+  EXPECT_TRUE(lan.path_blocked(1, 0));  // symmetric
+  lan.send_datagram(Endpoint{0, 1}, Endpoint{1, 1}, 100, std::any{});
+  lan.send_datagram(Endpoint{0, 1}, Endpoint{3, 1}, 100, std::any{});
+  sim.run();
+  EXPECT_EQ(received, 1);  // only the unblocked path delivered
+  lan.set_path_blocked(0, 1, false);
+  lan.send_datagram(Endpoint{0, 1}, Endpoint{1, 1}, 100, std::any{});
+  sim.run();
+  EXPECT_EQ(received, 2);
+}
+
 TEST(Lan, DatagramIdsAreUnique) {
   sim::Simulation sim;
   Lan lan(sim, test_config());
