@@ -133,6 +133,11 @@ class Sweep {
     }
   }
 
+  /// Campaign options, mutable until run_and_register(). Benches that want
+  /// observability (time series / hop spans in the per-run Results) set
+  /// `options().obs` here.
+  [[nodiscard]] core::CampaignOptions& options() { return options_; }
+
   /// All seeds of one scenario pooled (the paper's aggregation).
   [[nodiscard]] core::Results pooled(const std::string& id) const {
     return campaign_->pooled(id);

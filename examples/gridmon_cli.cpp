@@ -6,11 +6,17 @@
 //
 //   gridmon_cli run <id|prefix>... [--seeds N] [--jobs N]
 //               [--minutes M | --quick] [--csv|--json]
+//               [--trace-out DIR] [--series-out DIR]
 //       Resolve each argument against the registry (exact id first, then
 //       prefix expansion), fan the campaign out over a worker pool and
 //       print the aggregated per-scenario table. --quick runs 2 virtual
 //       minutes instead of the default 5; --csv/--json dump the raw
 //       per-run rows instead. Progress goes to stderr.
+//       --trace-out writes one Perfetto-loadable Chrome trace JSON per run
+//       (hop spans + fault windows); --series-out writes one windowed
+//       time-series CSV per run. Either flag switches observability on;
+//       fault-injection scenarios also get a loss-over-time sparkline in
+//       the table output.
 //
 //   gridmon_cli narada [--connections N] [--transport tcp|nio|udp]
 //               [--ack auto|client] [--brokers N] [--minutes M]
@@ -27,6 +33,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +42,8 @@
 #include "core/experiment.hpp"
 #include "core/registry.hpp"
 #include "core/report.hpp"
+#include "obs/export.hpp"
+#include "util/chart.hpp"
 #include "util/table.hpp"
 
 using namespace gridmon;
@@ -46,6 +56,7 @@ namespace {
       "usage: %s list [prefix]\n"
       "       %s run <id|prefix>... [--seeds N] [--jobs N]\n"
       "           [--minutes M | --quick] [--csv|--json]\n"
+      "           [--trace-out DIR] [--series-out DIR]\n"
       "       %s narada|rgma [options]\n"
       "  common: --connections N --minutes M --seed S --csv\n"
       "  narada: --transport tcp|nio|udp --ack auto|client\n"
@@ -185,8 +196,49 @@ void report(const core::Results& results, bool csv, const std::string& label) {
   table.add_row({"server memory (MB)",
                  std::to_string(results.servers.memory_bytes / units::MiB)});
   table.add_row({"refused connections", std::to_string(results.refused)});
+  if (results.metrics.prt_unknown() > 0) {
+    // PRT cannot be decomposed for these samples (client clock gave the
+    // same before/after-sending stamp); they are excluded from the PRT
+    // mean above instead of skewing it toward zero.
+    table.add_row({"PRT unknown (samples)",
+                   std::to_string(results.metrics.prt_unknown())});
+  }
   table.add_row({"grade (Table III)", core::grade_realtime(results)});
   std::printf("%s", table.render().c_str());
+}
+
+/// "chaos/narada/broker_crash" -> "chaos_narada_broker_crash__seed3".
+std::string run_file_stem(const core::RunRecord& record) {
+  std::string stem = record.scenario_id;
+  for (char& c : stem) {
+    if (c == '/') c = '_';
+  }
+  stem += "__seed" + std::to_string(record.seed);
+  return stem;
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  out << body;
+  return true;
+}
+
+bool spec_has_faults(const core::ScenarioSpec& spec) {
+  return std::visit(
+      [](const auto& config) {
+        using T = std::decay_t<decltype(config)>;
+        if constexpr (std::is_same_v<T, core::NaradaConfig> ||
+                      std::is_same_v<T, core::RgmaConfig>) {
+          return !config.faults.events.empty();
+        } else {
+          return false;
+        }
+      },
+      spec.config);
 }
 
 int cmd_list(int argc, char** argv) {
@@ -215,6 +267,8 @@ int cmd_run(int argc, char** argv) {
   int minutes = 5;
   bool csv = false;
   bool json = false;
+  std::string trace_out;
+  std::string series_out;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--seeds") {
@@ -229,6 +283,12 @@ int cmd_run(int argc, char** argv) {
       csv = true;
     } else if (flag == "--json") {
       json = true;
+    } else if (flag == "--trace-out") {
+      if (i + 1 >= argc) usage(argv[0]);
+      trace_out = argv[++i];
+    } else if (flag == "--series-out") {
+      if (i + 1 >= argc) usage(argv[0]);
+      series_out = argv[++i];
     } else if (!flag.empty() && flag[0] == '-') {
       usage(argv[0]);
     } else {
@@ -245,15 +305,42 @@ int cmd_run(int argc, char** argv) {
   };
 
   const auto& registry = core::builtin_registry();
-  core::CampaignRunner runner(options);
+  // Resolve ids first (obs enablement looks at the resolved specs).
+  std::vector<core::ScenarioSpec> specs;
   for (const auto& id : ids) {
-    if (runner.add(registry, id)) continue;
-    if (runner.add_matching(registry, id) == 0) {
+    const std::size_t before = specs.size();
+    if (const core::ScenarioSpec* spec = registry.find(id)) {
+      specs.push_back(*spec);
+    } else {
+      for (const core::ScenarioSpec* match : registry.match(id)) {
+        specs.push_back(*match);
+      }
+    }
+    if (specs.size() == before) {
       std::fprintf(stderr, "unknown scenario id or prefix: %s\n", id.c_str());
       std::fprintf(stderr, "(try: %s list)\n", argv[0]);
       return 2;
     }
   }
+
+  bool any_fault_spec = false;
+  for (const auto& spec : specs) any_fault_spec |= spec_has_faults(spec);
+
+  // Observability: the export flags switch it on explicitly; fault
+  // scenarios get the time series regardless so the loss sparkline can
+  // render. Spans are only collected when a trace sink exists.
+  if (!trace_out.empty() || !series_out.empty() || any_fault_spec) {
+    options.obs.enabled = true;
+    options.obs.span_sample_every = trace_out.empty() ? 0 : 16;
+    if (!obs::kEnabled) {
+      std::fprintf(stderr,
+                   "note: built with GRIDMON_OBS=OFF; traces and series "
+                   "will be empty\n");
+    }
+  }
+
+  core::CampaignRunner runner(options);
+  for (auto& spec : specs) runner.add(std::move(spec));
   std::fprintf(stderr, "campaign: %zu scenario(s) x %d seed(s), %d min "
                        "virtual, jobs=%d\n",
                runner.scenarios().size(), options.seeds, minutes,
@@ -274,6 +361,49 @@ int cmd_run(int argc, char** argv) {
                run_seconds > 0
                    ? static_cast<double>(sim_events) / run_seconds / 1e6
                    : 0.0);
+
+  // Per-run observability exports.
+  if (!trace_out.empty() || !series_out.empty()) {
+    std::error_code ec;
+    if (!trace_out.empty()) {
+      std::filesystem::create_directories(trace_out, ec);
+    }
+    if (!series_out.empty()) {
+      std::filesystem::create_directories(series_out, ec);
+    }
+    int traces = 0;
+    int series = 0;
+    for (const auto& record : campaign.runs()) {
+      if (!record.results.obs) continue;
+      const std::string stem = run_file_stem(record);
+      if (!trace_out.empty()) {
+        const auto path =
+            std::filesystem::path(trace_out) / (stem + ".trace.json");
+        if (write_file(path, obs::chrome_trace_json(*record.results.obs))) {
+          ++traces;
+        }
+      }
+      if (!series_out.empty()) {
+        const auto dir = std::filesystem::path(series_out);
+        if (write_file(dir / (stem + ".series.csv"),
+                       obs::series_csv(*record.results.obs))) {
+          ++series;
+        }
+        write_file(dir / (stem + ".series.json"),
+                   obs::series_json(*record.results.obs));
+      }
+    }
+    if (!trace_out.empty()) {
+      std::fprintf(stderr,
+                   "wrote %d trace file(s) to %s (open in "
+                   "https://ui.perfetto.dev)\n",
+                   traces, trace_out.c_str());
+    }
+    if (!series_out.empty()) {
+      std::fprintf(stderr, "wrote %d series file(s) to %s\n", series,
+                   series_out.c_str());
+    }
+  }
 
   if (csv) {
     std::printf("%s", campaign.csv().c_str());
@@ -322,6 +452,55 @@ int cmd_run(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::printf("%s", table.render().c_str());
+
+  // Loss-over-time sparklines around the fault windows (chaos scenarios,
+  // obs-enabled runs only). One line per run; '^' marks the sample windows
+  // overlapping an injected fault.
+  if (any_faults) {
+    bool printed_header = false;
+    for (const auto& record : campaign.runs()) {
+      const auto& report = record.results.obs;
+      if (!report) continue;
+      const auto loss = obs::loss_percent_series(*report, "sent", "received");
+      if (loss.loss_pct.empty()) continue;
+      const std::vector<double>& values = loss.loss_pct;
+      double peak = 0;
+      for (double v : values) peak = std::max(peak, v);
+      std::string fault_marks(values.size(), ' ');
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const SimTime window_begin = i > 0 ? loss.at[i - 1] : 0;
+        for (const auto& span : report->chaos) {
+          if (span.end >= window_begin && span.begin <= loss.at[i]) {
+            fault_marks[i] = '^';
+            break;
+          }
+        }
+      }
+      if (!printed_header) {
+        std::printf("\nloss%% over time (peak window loss; ^ = fault):\n");
+        printed_header = true;
+      }
+      std::printf("  %-44s |%s| peak %.1f%%\n",
+                  (record.scenario_id + " seed=" +
+                   std::to_string(record.seed)).c_str(),
+                  util::sparkline(values).c_str(), peak);
+      if (fault_marks.find('^') != std::string::npos) {
+        const std::size_t width =
+            std::min(values.size(), static_cast<std::size_t>(72));
+        // Downsample the fault marks the same way sparkline buckets.
+        std::string marks(width, ' ');
+        for (std::size_t c = 0; c < width; ++c) {
+          const std::size_t begin = c * values.size() / width;
+          const std::size_t end =
+              std::max(begin + 1, (c + 1) * values.size() / width);
+          for (std::size_t i = begin; i < end; ++i) {
+            if (fault_marks[i] == '^') marks[c] = '^';
+          }
+        }
+        std::printf("  %-44s |%s|\n", "", marks.c_str());
+      }
+    }
+  }
   return 0;
 }
 

@@ -45,6 +45,16 @@ Results Repetitions::pooled() const {
     out.availability.reconnects += run.availability.reconnects;
     out.availability.resubscribes += run.availability.resubscribes;
     out.availability.reregistrations += run.availability.reregistrations;
+    // Per-window TTR pools element-wise worst case, mirroring the scalar
+    // time_to_recover_ms max above.
+    auto& pooled_ttr = out.availability.ttr_windows_ms;
+    const auto& run_ttr = run.availability.ttr_windows_ms;
+    if (pooled_ttr.size() < run_ttr.size()) {
+      pooled_ttr.resize(run_ttr.size(), 0.0);
+    }
+    for (std::size_t w = 0; w < run_ttr.size(); ++w) {
+      pooled_ttr[w] = std::max(pooled_ttr[w], run_ttr[w]);
+    }
   }
   out.servers.cpu_idle_pct = idle / static_cast<double>(runs_.size());
   out.servers.memory_bytes = mem / static_cast<std::int64_t>(runs_.size());
@@ -88,7 +98,7 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         "\"handle_allocs\": %llu, \"faults\": %llu, \"downtime_ms\": %.1f, "
         "\"ttr_ms\": %.1f, \"lost_in_window\": %llu, \"lost_post_window\": "
         "%llu, \"late\": %llu, \"reconnects\": %llu, \"resubscribes\": %llu, "
-        "\"reregistrations\": %llu}",
+        "\"reregistrations\": %llu",
         run.scenario_id.c_str(), static_cast<unsigned long long>(run.seed),
         static_cast<unsigned long long>(m.sent()),
         static_cast<unsigned long long>(m.received()), m.loss_rate() * 100.0,
@@ -112,6 +122,17 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         static_cast<unsigned long long>(a.reconnects),
         static_cast<unsigned long long>(a.resubscribes),
         static_cast<unsigned long long>(a.reregistrations));
+    out += buffer;
+    // Per-window TTR (satellite of the availability metrics) lives in the
+    // JSON export only: the CSV column set is pinned by golden-hash tests.
+    out += ", \"ttr_windows_ms\": [";
+    for (std::size_t w = 0; w < a.ttr_windows_ms.size(); ++w) {
+      if (w > 0) out += ", ";
+      std::snprintf(buffer, sizeof(buffer), "%.1f", a.ttr_windows_ms[w]);
+      out += buffer;
+    }
+    out += "]}";
+    return;
   } else {
     std::snprintf(
         buffer, sizeof(buffer),
@@ -224,7 +245,8 @@ Campaign CampaignRunner::run() {
       const std::uint64_t seed =
           options_.first_seed + static_cast<std::uint64_t>(i % seeds);
       const auto begin = std::chrono::steady_clock::now();
-      Results results = run_scenario(spec, options_.duration, seed);
+      Results results = run_scenario(spec, options_.duration, seed,
+                                     options_.obs);
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - begin;
       auto& slot = records[static_cast<std::size_t>(i)];

@@ -48,6 +48,9 @@ struct CampaignOptions {
   std::uint64_t first_seed = 1;
   /// Virtual duration applied to every run (overrides the spec's config).
   SimTime duration = units::minutes(30);
+  /// Observability options applied to every Narada/R-GMA run (off by
+  /// default; custom scenarios ignore it). See obs/recorder.hpp.
+  obs::Options obs;
   /// Optional progress sink, invoked after every completed run. Called
   /// from worker threads but serialised by the runner, so the callback
   /// itself needs no locking.

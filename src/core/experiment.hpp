@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "core/metrics.hpp"
 #include "jms/message.hpp"
 #include "narada/transport.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulation.hpp"
 #include "util/units.hpp"
 
@@ -40,6 +42,11 @@ struct Results {
   /// DES-kernel self-metrics for the run (deterministic: a pure function
   /// of (scenario, duration, seed), so campaign exports may include them).
   sim::KernelStats kernel;
+  /// Observability report (null unless the config enabled obs). The
+  /// sampling timer reads state without mutating the models or drawing
+  /// RNG, so every other Results field is identical with obs on or off —
+  /// only the kernel event counts move.
+  std::shared_ptr<const obs::Report> obs;
 
   [[nodiscard]] bool hit_oom_wall() const { return refused > 0; }
 };
@@ -75,6 +82,8 @@ struct NaradaConfig {
   SimTime reconnect_backoff = units::milliseconds(500);
   SimTime reconnect_backoff_max = units::seconds(8);
   double reconnect_jitter = 0.2;
+  /// Observability (off by default; see obs/recorder.hpp).
+  obs::Options obs;
 };
 
 [[nodiscard]] Results run_narada_experiment(const NaradaConfig& config);
@@ -114,6 +123,8 @@ struct RgmaConfig {
   SimTime redeclare_backoff = units::seconds(1);
   SimTime redeclare_backoff_max = units::seconds(10);
   SimTime consumer_retry = units::seconds(2);
+  /// Observability (off by default; see obs/recorder.hpp).
+  obs::Options obs;
 };
 
 [[nodiscard]] Results run_rgma_experiment(const RgmaConfig& config);

@@ -254,6 +254,7 @@ Availability AvailabilityTracker::finalise(SimTime horizon) const {
     avail.downtime_ms += units::to_millis(ttr);
     avail.time_to_recover_ms =
         std::max(avail.time_to_recover_ms, units::to_millis(ttr));
+    avail.ttr_windows_ms.push_back(units::to_millis(ttr));
   }
   avail.lost_in_window = lost_in_window_;
   avail.lost_post_window = lost_post_window_;

@@ -156,6 +156,11 @@ struct Availability {
   double time_to_recover_ms = 0.0;  ///< worst window's fault-start → first
                                     ///< post-fault delivery (clamped to the
                                     ///< run horizon if never recovered)
+  /// Per-window TTR, one entry per outage window in begin order (the same
+  /// values time_to_recover_ms is the max of). Campaign pooling keeps the
+  /// element-wise worst case across seeds; exported in the JSON campaign
+  /// format only, so the pinned CSV golden hashes stay put.
+  std::vector<double> ttr_windows_ms;
   std::uint64_t lost_in_window = 0;   ///< losses sent inside an outage window
   std::uint64_t lost_post_window = 0;  ///< losses sent after the last window
                                        ///< began but outside any window

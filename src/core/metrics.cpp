@@ -9,7 +9,14 @@ void Metrics::record(SimTime before_sending, SimTime after_sending,
   if (deadline_ > 0 && after_receiving - before_sending > deadline_) {
     ++delivered_late_;
   }
-  prt_ms_.add(units::to_millis(after_sending - before_sending));
+  if (after_sending == before_sending) {
+    // Sentinel: the caller never observed the publish-call return (e.g.
+    // campaign pooling re-records bare RTTs). Folding PRT=0 into the mean
+    // would silently skew the decomposition — count it separately instead.
+    ++prt_unknown_;
+  } else {
+    prt_ms_.add(units::to_millis(after_sending - before_sending));
+  }
   pt_ms_.add(units::to_millis(before_receiving - after_sending));
   srt_ms_.add(units::to_millis(after_receiving - before_receiving));
 }

@@ -49,6 +49,9 @@ class Metrics {
   [[nodiscard]] const util::OnlineStats& prt_ms() const { return prt_ms_; }
   [[nodiscard]] const util::OnlineStats& pt_ms() const { return pt_ms_; }
   [[nodiscard]] const util::OnlineStats& srt_ms() const { return srt_ms_; }
+  /// Messages recorded with the after_sending == before_sending sentinel
+  /// (PRT endpoint unknown); excluded from the PRT stats above.
+  [[nodiscard]] std::uint64_t prt_unknown() const { return prt_unknown_; }
 
  private:
   std::uint64_t sent_ = 0;
@@ -56,6 +59,7 @@ class Metrics {
   SimTime deadline_ = 0;
   std::uint64_t delivered_late_ = 0;
   util::SampleSet rtt_ms_;
+  std::uint64_t prt_unknown_ = 0;
   util::OnlineStats prt_ms_;
   util::OnlineStats pt_ms_;
   util::OnlineStats srt_ms_;

@@ -92,9 +92,11 @@ class Generator {
     // (Fault-free runs are unchanged — every publish completes.)
     metrics_.count_sent();
     in_flight_.emplace(key, SentRecord{before, before});
+    obs::mark_message(key, "pub");
     client_->publish(std::move(msg), [this, key](SimTime after) {
       const auto it = in_flight_.find(key);
       if (it != in_flight_.end()) it->second.after_sending = after;
+      obs::mark_message_at(key, "sent", after);
     });
     hydra_.sim().schedule_after(config_.publish_period,
                                 [this] { publish_next(); });
@@ -154,10 +156,32 @@ Results run_narada_experiment(const NaradaConfig& config) {
   std::unordered_map<std::string, SentRecord> in_flight;
   AvailabilityTracker tracker;
 
+  // Observability: one recorder for the run, installed thread-locally so
+  // middleware mark helpers route to it. The sampler below only reads
+  // state, so metrics are identical with obs on or off.
+  std::unique_ptr<obs::Recorder> recorder;
+  obs::HistogramSeries* rtt_series = nullptr;
+  if (obs::kEnabled && config.obs.enabled) {
+    recorder = std::make_unique<obs::Recorder>(hydra.sim(), config.obs);
+    auto& timeline = recorder->timeline();
+    // Fixed column order (creation order is export order).
+    timeline.gauge("sent");
+    timeline.gauge("received");
+    rtt_series = &timeline.histogram("rtt_ms");
+    timeline.gauge("kernel_events");
+    timeline.gauge("kernel_queue_depth");
+    timeline.gauge("lan_in_flight");
+    timeline.gauge("lan_dropped");
+    timeline.gauge("broker_events_received");
+    timeline.gauge("broker_events_delivered");
+    timeline.gauge("broker_events_forwarded");
+  }
+  obs::ScopedRecorder scoped(recorder.get());
+
   // Subscriber programs.
   std::vector<std::shared_ptr<narada::NaradaClient>> subscribers;
-  auto make_listener = [&] {
-    return [&results, &in_flight, &hydra, &tracker](
+  auto make_listener = [&, rtt_series] {
+    return [&results, &in_flight, &hydra, &tracker, rtt_series](
                const jms::MessagePtr& message, SimTime arrived_at) {
       tracker.on_delivery(hydra.sim().now());
       const auto it = in_flight.find(message->message_id);
@@ -165,6 +189,15 @@ Results run_narada_experiment(const NaradaConfig& config) {
       results.metrics.record(it->second.before_sending,
                              it->second.after_sending, arrived_at,
                              hydra.sim().now());
+      if (rtt_series != nullptr) {
+        rtt_series->record(units::to_millis(hydra.sim().now() -
+                                            it->second.before_sending));
+      }
+      if (obs::Recorder* r = obs::tracer()) {
+        r->mark_at(obs::key_of(message->message_id), "recv", arrived_at);
+        r->mark(obs::key_of(message->message_id), "done");
+        r->complete(obs::key_of(message->message_id));
+      }
       in_flight.erase(it);
     };
   };
@@ -275,6 +308,38 @@ Results run_narada_experiment(const NaradaConfig& config) {
   FaultInjector injector(hydra.sim(), config.faults, hooks);
   injector.arm(steady_begin);
   tracker.set_windows(injector.windows());
+  if (recorder) {
+    // Chaos track: every planned event (instantaneous ones included, which
+    // windows() excludes), with anchors resolved the same way arm() does.
+    for (const FaultEvent& event : config.faults.events) {
+      const SimTime base =
+          event.anchor == FaultAnchor::kSteady ? steady_begin : 0;
+      recorder->add_chaos(std::string(to_string(event.kind)), base + event.at,
+                          base + event.at + event.duration);
+    }
+    recorder->set_sampler([&results, &hydra, &dbn](obs::Timeline& timeline) {
+      timeline.gauge("sent").set(
+          static_cast<double>(results.metrics.sent()));
+      timeline.gauge("received").set(
+          static_cast<double>(results.metrics.received()));
+      timeline.gauge("kernel_events").set(
+          static_cast<double>(hydra.sim().kernel_stats().events_executed));
+      timeline.gauge("kernel_queue_depth").set(
+          static_cast<double>(hydra.sim().queue_size()));
+      timeline.gauge("lan_in_flight").set(
+          static_cast<double>(hydra.lan().datagrams_in_flight()));
+      timeline.gauge("lan_dropped").set(
+          static_cast<double>(hydra.lan().datagrams_dropped()));
+      const auto broker_stats = dbn.total_stats();
+      timeline.gauge("broker_events_received")
+          .set(static_cast<double>(broker_stats.events_received));
+      timeline.gauge("broker_events_delivered")
+          .set(static_cast<double>(broker_stats.events_delivered));
+      timeline.gauge("broker_events_forwarded")
+          .set(static_cast<double>(broker_stats.events_forwarded));
+    });
+    recorder->arm(kStartTime);
+  }
   std::vector<std::unique_ptr<cluster::VmstatSampler>> mem_samplers;
   std::vector<std::unique_ptr<cluster::VmstatSampler>> cpu_samplers;
   for (int host : config.broker_hosts) {
@@ -325,6 +390,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
     results.availability.reconnects += sub->reconnects();
     results.availability.resubscribes += sub->resubscribes();
   }
+  if (recorder) results.obs = recorder->finish(horizon);
   return results;
 }
 

@@ -19,7 +19,7 @@ const char* ScenarioSpec::system() const {
 }
 
 Results run_scenario(const ScenarioSpec& spec, SimTime duration,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, const obs::Options& obs) {
   return std::visit(
       [&](const auto& config) -> Results {
         using T = std::decay_t<decltype(config)>;
@@ -27,11 +27,13 @@ Results run_scenario(const ScenarioSpec& spec, SimTime duration,
           NaradaConfig run = config;
           run.duration = duration;
           run.seed = seed;
+          if (obs.enabled) run.obs = obs;
           return run_narada_experiment(run);
         } else if constexpr (std::is_same_v<T, RgmaConfig>) {
           RgmaConfig run = config;
           run.duration = duration;
           run.seed = seed;
+          if (obs.enabled) run.obs = obs;
           return run_rgma_experiment(run);
         } else {
           return config.run(RunContext{duration, seed});

@@ -49,9 +49,11 @@ struct ScenarioSpec {
 };
 
 /// Run one scenario at an explicit duration and seed. Single-threaded and
-/// deterministic; campaign parallelism is strictly *across* calls.
+/// deterministic; campaign parallelism is strictly *across* calls. `obs`
+/// applies to Narada/R-GMA specs (custom scenarios ignore it).
 [[nodiscard]] Results run_scenario(const ScenarioSpec& spec, SimTime duration,
-                                   std::uint64_t seed);
+                                   std::uint64_t seed,
+                                   const obs::Options& obs = {});
 
 /// An ordered, id-indexed set of scenario specs. Insertion-ordered listing
 /// (so `gridmon_cli list` groups naturally); ids must be unique.

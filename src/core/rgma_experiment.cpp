@@ -92,12 +92,14 @@ class RgmaGenerator {
     // declared producers always succeed.)
     metrics_.count_sent();
     in_flight_.emplace(row_key(id_, seq), SentRecord{before, before});
+    obs::mark_row(id_, seq, "pub");
     producer_.insert(std::move(row), [this, before, seq](bool ok,
                                                          SimTime after) {
       const auto it = in_flight_.find(row_key(id_, seq));
       if (it == in_flight_.end()) return;
       if (ok) {
         it->second.after_sending = after;
+        obs::mark_row_at(id_, seq, "sent", after);
       } else {
         tracker_.classify_loss(before);
         in_flight_.erase(it);
@@ -159,6 +161,9 @@ class Subscriber {
 
   void stop() { timer_.cancel(); }
 
+  /// Observability: RTT histogram deliveries record into (null = off).
+  void set_rtt_series(obs::HistogramSeries* series) { rtt_series_ = series; }
+
   [[nodiscard]] std::uint64_t recreates() const {
     return consumer_.recreates();
   }
@@ -182,6 +187,16 @@ class Subscriber {
         tracker_.on_delivery(now);
         metrics_.record(it->second.before_sending, it->second.after_sending,
                         before_receiving, now);
+        if (rtt_series_ != nullptr) {
+          rtt_series_->record(
+              units::to_millis(now - it->second.before_sending));
+        }
+        if (obs::Recorder* r = obs::tracer()) {
+          const obs::TraceKey key = obs::key_of(*id, *seq);
+          r->mark_at(key, "recv", before_receiving);
+          r->mark(key, "done");
+          r->complete(key);
+        }
         in_flight_.erase(it);
       }
     });
@@ -196,6 +211,7 @@ class Subscriber {
   SimTime create_retry_;
   sim::PeriodicTimer timer_;
   bool polling_ = false;
+  obs::HistogramSeries* rtt_series_ = nullptr;
 };
 
 }  // namespace
@@ -245,6 +261,28 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   results.metrics.set_deadline(units::seconds(5));
   std::unordered_map<std::int64_t, SentRecord> in_flight;
   AvailabilityTracker tracker;
+
+  // Observability: one recorder for the run, installed thread-locally so
+  // servlet mark helpers route to it (see narada_experiment.cpp).
+  std::unique_ptr<obs::Recorder> recorder;
+  obs::HistogramSeries* rtt_series = nullptr;
+  if (obs::kEnabled && config.obs.enabled) {
+    recorder = std::make_unique<obs::Recorder>(hydra.sim(), config.obs);
+    auto& timeline = recorder->timeline();
+    timeline.gauge("sent");
+    timeline.gauge("received");
+    rtt_series = &timeline.histogram("rtt_ms");
+    timeline.gauge("kernel_events");
+    timeline.gauge("kernel_queue_depth");
+    timeline.gauge("lan_in_flight");
+    timeline.gauge("lan_dropped");
+    timeline.gauge("pp_tuples_streamed");
+    timeline.gauge("pp_batches_sent");
+    timeline.gauge("cs_batches_received");
+    timeline.gauge("cs_tuples_matched");
+    timeline.gauge("cs_polls_served");
+  }
+  obs::ScopedRecorder scoped(recorder.get());
 
   // Client hosts: 4–7 run generator programs and the subscriber(s).
   const std::vector<int> client_hosts = {4, 5, 6, 7};
@@ -297,6 +335,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
         network.consumer_service(c).endpoint(), 800000 + c, std::move(query),
         config.poll_period, results.metrics, in_flight, tracker,
         config.recovery ? config.consumer_retry : SimTime{0}));
+    subscribers.back()->set_rtt_series(rtt_series);
     hydra.sim().schedule_at(kStartTime / 2, [sub = subscribers.back().get()] {
       sub->start();
     });
@@ -367,6 +406,56 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   FaultInjector injector(hydra.sim(), config.faults, hooks);
   injector.arm(steady_begin);
   tracker.set_windows(injector.windows());
+  if (recorder) {
+    for (const FaultEvent& event : config.faults.events) {
+      const SimTime base =
+          event.anchor == FaultAnchor::kSteady ? steady_begin : 0;
+      recorder->add_chaos(std::string(to_string(event.kind)), base + event.at,
+                          base + event.at + event.duration);
+    }
+    recorder->set_sampler([&results, &hydra,
+                           &network](obs::Timeline& timeline) {
+      timeline.gauge("sent").set(
+          static_cast<double>(results.metrics.sent()));
+      timeline.gauge("received").set(
+          static_cast<double>(results.metrics.received()));
+      timeline.gauge("kernel_events").set(
+          static_cast<double>(hydra.sim().kernel_stats().events_executed));
+      timeline.gauge("kernel_queue_depth").set(
+          static_cast<double>(hydra.sim().queue_size()));
+      timeline.gauge("lan_in_flight").set(
+          static_cast<double>(hydra.lan().datagrams_in_flight()));
+      timeline.gauge("lan_dropped").set(
+          static_cast<double>(hydra.lan().datagrams_dropped()));
+      std::uint64_t tuples_streamed = 0;
+      std::uint64_t batches_sent = 0;
+      for (int i = 0; i < network.producer_service_count(); ++i) {
+        const auto& stats = network.producer_service(i).stats();
+        tuples_streamed += stats.tuples_streamed;
+        batches_sent += stats.batches_sent;
+      }
+      std::uint64_t batches_received = 0;
+      std::uint64_t tuples_matched = 0;
+      std::uint64_t polls_served = 0;
+      for (int i = 0; i < network.consumer_service_count(); ++i) {
+        const auto& stats = network.consumer_service(i).stats();
+        batches_received += stats.batches_received;
+        tuples_matched += stats.tuples_matched;
+        polls_served += stats.polls_served;
+      }
+      timeline.gauge("pp_tuples_streamed")
+          .set(static_cast<double>(tuples_streamed));
+      timeline.gauge("pp_batches_sent")
+          .set(static_cast<double>(batches_sent));
+      timeline.gauge("cs_batches_received")
+          .set(static_cast<double>(batches_received));
+      timeline.gauge("cs_tuples_matched")
+          .set(static_cast<double>(tuples_matched));
+      timeline.gauge("cs_polls_served")
+          .set(static_cast<double>(polls_served));
+    });
+    recorder->arm(kStartTime);
+  }
   std::vector<std::unique_ptr<cluster::VmstatSampler>> mem_samplers;
   std::vector<std::unique_ptr<cluster::VmstatSampler>> cpu_samplers;
   for (int host : server_hosts) {
@@ -418,6 +507,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   for (const auto& sub : subscribers) {
     results.availability.resubscribes += sub->recreates();
   }
+  if (recorder) results.obs = recorder->finish(horizon);
   return results;
 }
 

@@ -3,11 +3,27 @@
 #include <algorithm>
 
 #include "cluster/costs.hpp"
+#include "obs/recorder.hpp"
 #include "util/log.hpp"
 
 namespace gridmon::narada {
 
 namespace costs = cluster::costs;
+
+namespace {
+
+/// Hop-span mark for every message a frame carries (no-op unless the run
+/// has an observability recorder installed and the message is sampled).
+void mark_frame(const FramePtr& frame, std::string_view stage) {
+  if constexpr (!obs::kEnabled) return;
+  if (obs::tracer() == nullptr) return;
+  if (frame->message) obs::mark_message(frame->message->message_id, stage);
+  for (const auto& message : frame->batch) {
+    obs::mark_message(message->message_id, stage);
+  }
+}
+
+}  // namespace
 
 Broker::Broker(cluster::Host& host, net::Lan& lan,
                net::StreamTransport& streams, BrokerConfig config)
@@ -158,6 +174,7 @@ void Broker::on_client_frame(const net::StreamConnectionPtr& conn,
       });
       break;
     case FrameKind::kPublish: {
+      mark_frame(frame, "wire");
       if (config_.transport == TransportKind::kNio) {
         // Selector-based server: the event is picked up at the next
         // selector wakeup rather than by a blocked reader thread.
@@ -214,6 +231,7 @@ void Broker::on_udp_datagram(const net::Datagram& datagram) {
       // JMS-over-UDP: Narada acknowledges each packet on its bookkeeping
       // cycle before releasing it downstream — the paper's explanation for
       // UDP's surprisingly high round-trip times.
+      mark_frame(frame, "wire");
       udp_pending_.push_back(frame);
       break;
     case FrameKind::kClientAck:
@@ -237,6 +255,7 @@ void Broker::ingest_publish(const FramePtr& frame) {
   ++stats_.events_received;
   const bool aggregated = !frame->batch.empty();
   if (!aggregated && !frame->message) return;
+  mark_frame(frame, "ingress");
   std::int64_t bytes = 0;
   std::size_t message_count = 1;
   if (aggregated) {
@@ -274,6 +293,7 @@ void Broker::ingest_publish(const FramePtr& frame) {
   }
 
   host_.cpu().execute(demand, [this, frame, transient, aggregated] {
+    mark_frame(frame, "route_fanout");
     if (aggregated) {
       for (const auto& message : frame->batch) {
         deliver_local(message, frame->topic, frame->is_queue);
@@ -374,6 +394,7 @@ void Broker::disseminate(const FramePtr& frame) {
 
 void Broker::ingest_forward(const FramePtr& frame) {
   ++stats_.events_from_peers;
+  mark_frame(frame, "peer_in");
   // A relayed event costs the receiving broker real work: deserialise the
   // inter-broker frame, then run the same matching/dispatch pipeline as a
   // locally published event. Under the broadcast deficiency every broker
@@ -399,6 +420,7 @@ void Broker::ingest_forward(const FramePtr& frame) {
   host_.cpu().execute(
       demand,
       [this, frame, transient] {
+        mark_frame(frame, "relay_route");
         host_.heap().release(transient);
         if (frame->final_broker == -1 ||
             frame->final_broker == config_.broker_id) {

@@ -147,7 +147,9 @@ void Lan::send_datagram(Endpoint src, Endpoint dst, std::int64_t bytes,
   dg.sent_at = sim_.now();
 
   const SimTime arrival = frame_transit(src.node, dst.node, bytes);
+  ++datagrams_in_flight_;
   sim_.schedule_at(arrival, [this, dg = std::move(dg)]() mutable {
+    --datagrams_in_flight_;
     // In-flight frames die with the receiving NIC or a cut path: a datagram
     // launched before the fault still never arrives.
     if (node_down_[static_cast<std::size_t>(dg.dst.node)] ||

@@ -93,6 +93,11 @@ class Lan {
   /// Statistics.
   [[nodiscard]] std::uint64_t datagrams_sent() const { return datagrams_sent_; }
   [[nodiscard]] std::uint64_t datagrams_dropped() const { return datagrams_dropped_; }
+  /// Datagrams launched but not yet delivered (or dropped in flight) —
+  /// a queue-depth gauge for the observability Timeline.
+  [[nodiscard]] std::uint64_t datagrams_in_flight() const {
+    return datagrams_in_flight_;
+  }
   [[nodiscard]] std::int64_t bytes_to_node(NodeId node) const;
 
  private:
@@ -111,6 +116,7 @@ class Lan {
   std::uint64_t next_datagram_id_ = 1;
   std::uint64_t datagrams_sent_ = 0;
   std::uint64_t datagrams_dropped_ = 0;
+  std::uint64_t datagrams_in_flight_ = 0;
   std::vector<bool> node_down_;
   std::uint64_t nic_transitions_ = 0;
   std::unordered_map<std::uint64_t, double> link_loss_;   ///< src→dst key

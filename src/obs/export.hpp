@@ -1,0 +1,82 @@
+// Exporters and span analytics for obs::Report.
+//
+// Three output shapes:
+//
+//   * chrome_trace_json — Chrome trace-event JSON, loadable in Perfetto or
+//     chrome://tracing. Each sampled message renders as its own row of
+//     named stage spans ("complete" events whose ts/dur are virtual-time
+//     microseconds); fault windows from core/faults render on a dedicated
+//     "chaos" track (tid 0) as duration or instant events.
+//   * series_csv / series_json — the sampled Timeline as a flat table,
+//     one row per sampling window. Formatting is locale-free and
+//     deterministic, so the CSV is byte-identical across campaign worker
+//     counts (pinned by obs_determinism_test).
+//   * analyse_spans / loss_percent_series — in-process analytics: the
+//     per-stage PT breakdown (sub-stage sums telescope exactly to the
+//     PT aggregate) and the windowed loss-over-time series the CLI/bench
+//     sparklines draw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace gridmon::obs {
+
+/// Chrome trace-event JSON for Perfetto / chrome://tracing.
+[[nodiscard]] std::string chrome_trace_json(const Report& report);
+
+/// Timeline as CSV: header "t_ms,<columns...>" + one row per sample.
+[[nodiscard]] std::string series_csv(const Report& report);
+
+/// Timeline as JSON: {"columns": [...], "samples": [[t_ms, ...], ...],
+/// "chaos": [...]}.
+[[nodiscard]] std::string series_json(const Report& report);
+
+struct StageStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+
+  [[nodiscard]] double mean_ms() const {
+    return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
+  }
+};
+
+struct SpanAnalysis {
+  std::uint64_t traces = 0;     // traces containing both boundary marks
+  std::vector<StageStat> stages;     // every inter-mark duration, whole trace
+  std::vector<StageStat> pt_stages;  // durations inside (sent, recv]
+  /// Sum of (recv - sent) across traces — the traced share of the paper's
+  /// PT aggregate.
+  double traced_pt_sum_ms = 0.0;
+  /// Sum of the per-stage durations in `pt_stages`. Telescoping makes
+  /// this equal traced_pt_sum_ms exactly (up to float rounding).
+  double stage_pt_sum_ms = 0.0;
+};
+
+/// Per-stage duration attribution. The duration between consecutive
+/// time-sorted marks is attributed to the *later* mark's stage; the PT
+/// region is delimited by the first `sent_stage` mark and the first
+/// `recv_stage` mark after it.
+[[nodiscard]] SpanAnalysis analyse_spans(const Report& report,
+                                         std::string_view sent_stage = "sent",
+                                         std::string_view recv_stage = "recv");
+
+struct LossSeries {
+  std::vector<SimTime> at;        // window end timestamps
+  std::vector<double> loss_pct;   // per-window loss, clamped to >= 0
+};
+
+/// Windowed loss from two cumulative counters: for each pair of adjacent
+/// samples, 100 * (1 - delta(received)/delta(sent)). Windows with no
+/// sends report 0. Negative values (deliveries catching up after a fault)
+/// clamp to 0 — the sparkline reads as "loss", not flow balance.
+[[nodiscard]] LossSeries loss_percent_series(
+    const Report& report, std::string_view sent_column = "sent",
+    std::string_view received_column = "received");
+
+}  // namespace gridmon::obs

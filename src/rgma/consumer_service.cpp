@@ -1,5 +1,6 @@
 #include "rgma/consumer_service.hpp"
 
+#include "obs/recorder.hpp"
 #include "rgma/sql_eval.hpp"
 #include "rgma/sql_parser.hpp"
 #include "util/log.hpp"
@@ -7,6 +8,20 @@
 namespace gridmon::rgma {
 
 namespace costs = cluster::costs;
+
+namespace {
+
+/// Hop-span mark keyed on the tuple's first two integer columns (the
+/// generator-row convention: id, sequence); see producer_service.cpp.
+void mark_tuple(const std::vector<SqlValue>& values, std::string_view stage) {
+  if constexpr (!obs::kEnabled) return;
+  if (obs::tracer() == nullptr || values.size() < 2) return;
+  const auto* id = std::get_if<std::int64_t>(&values[0]);
+  const auto* seq = std::get_if<std::int64_t>(&values[1]);
+  if (id != nullptr && seq != nullptr) obs::mark_row(*id, *seq, stage);
+}
+
+}  // namespace
 
 ConsumerService::ConsumerService(cluster::Host& host,
                                  net::StreamTransport& streams,
@@ -227,6 +242,7 @@ void ConsumerService::handle_batch(const StreamBatch& batch) {
         matched = true;
       }
       if (matched) {
+        mark_tuple(tuple.values, "cs_match");
         ++stats_.tuples_matched;
       } else {
         ++stats_.tuples_discarded;
@@ -235,6 +251,7 @@ void ConsumerService::handle_batch(const StreamBatch& batch) {
     return;
   }
 
+  for (const auto& tuple : batch.tuples) mark_tuple(tuple.values, "cs_queue");
   queued_bytes_ += batch.wire_size();
   (void)servlet_.host().heap().allocate(batch.wire_size());
   incoming_.push_back(batch);
@@ -278,6 +295,7 @@ void ConsumerService::evaluation_cycle() {
           matched = true;
         }
         if (matched) {
+          mark_tuple(tuple.values, "cs_match");
           ++stats_.tuples_matched;
         } else {
           ++stats_.tuples_discarded;

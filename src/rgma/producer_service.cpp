@@ -1,5 +1,6 @@
 #include "rgma/producer_service.hpp"
 
+#include "obs/recorder.hpp"
 #include "rgma/sql_eval.hpp"
 #include "rgma/sql_parser.hpp"
 #include "util/log.hpp"
@@ -7,6 +8,21 @@
 namespace gridmon::rgma {
 
 namespace costs = cluster::costs;
+
+namespace {
+
+/// Hop-span mark keyed on the tuple's first two integer columns (the
+/// generator-row convention: id, sequence). Tuples without that shape —
+/// or runs without a recorder — are silently skipped.
+void mark_tuple(const std::vector<SqlValue>& values, std::string_view stage) {
+  if constexpr (!obs::kEnabled) return;
+  if (obs::tracer() == nullptr || values.size() < 2) return;
+  const auto* id = std::get_if<std::int64_t>(&values[0]);
+  const auto* seq = std::get_if<std::int64_t>(&values[1]);
+  if (id != nullptr && seq != nullptr) obs::mark_row(*id, *seq, stage);
+}
+
+}  // namespace
 
 ProducerService::ProducerService(cluster::Host& host,
                                  net::StreamTransport& streams,
@@ -241,6 +257,7 @@ void ProducerService::handle_insert(const InsertRequest& req,
     }
     Tuple tuple;
     tuple.values = insert->values;
+    mark_tuple(tuple.values, "pp_store");
     producer.store.insert(std::move(tuple), servlet_.host().sim().now());
     producer.stored_bytes += costs::kTupleBytes;
     (void)servlet_.host().heap().allocate(costs::kTupleBytes);
@@ -309,6 +326,7 @@ void ProducerService::stream_cycle() {
       if (shipped.empty()) continue;
       stats_.tuples_streamed += shipped.size();
       ++stats_.batches_sent;
+      for (const Tuple& tuple : shipped) mark_tuple(tuple.values, "pp_stream");
 
       auto batch = std::make_shared<StreamBatch>();
       batch->producer_id = id;

@@ -25,6 +25,46 @@ std::string format_tick(double value) {
 
 }  // namespace
 
+std::string sparkline(const std::vector<double>& values, int max_width) {
+  if (values.empty() || max_width <= 0) return "(no data)";
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  static constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 1;
+
+  // Bucket-max downsample to at most max_width cells.
+  const std::size_t n = values.size();
+  const std::size_t width =
+      std::min(n, static_cast<std::size_t>(max_width));
+  std::vector<double> cells(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    const std::size_t begin = c * n / width;
+    const std::size_t end = std::max(begin + 1, (c + 1) * n / width);
+    double peak = values[begin];
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      peak = std::max(peak, values[i]);
+    }
+    cells[c] = peak;
+  }
+
+  double lo = cells[0];
+  double hi = cells[0];
+  for (double v : cells) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  out.reserve(width);
+  for (double v : cells) {
+    int level = 0;
+    if (hi > lo) {
+      level = static_cast<int>((v - lo) / (hi - lo) * (kLevels - 1) + 0.5);
+    } else if (hi > 0) {
+      level = kLevels - 1;
+    }
+    out += kRamp[std::clamp(level, 0, kLevels - 1)];
+  }
+  return out;
+}
+
 void AsciiChart::add_series(std::string name,
                             std::vector<std::pair<double, double>> points) {
   Series series;

@@ -7,6 +7,13 @@
 
 namespace gridmon::util {
 
+/// One-line glyph-ramp plot (" .:-=+*#%@") of a series, min..max scaled.
+/// Series longer than `max_width` are downsampled bucket-max so short
+/// spikes (a fault window's loss burst) survive the compression. Empty
+/// input renders "(no data)".
+[[nodiscard]] std::string sparkline(const std::vector<double>& values,
+                                    int max_width = 72);
+
 class AsciiChart {
  public:
   /// `width` x `height` character plotting area (axes add a margin).

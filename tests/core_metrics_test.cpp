@@ -57,6 +57,25 @@ TEST(Metrics, Percentiles) {
   EXPECT_DOUBLE_EQ(metrics.rtt_percentile_ms(100), 100.0);
 }
 
+TEST(Metrics, UnknownPrtSentinelDoesNotSkewMean) {
+  Metrics metrics;
+  // A real sample: PRT = 4 ms.
+  metrics.record(units::milliseconds(0), units::milliseconds(4),
+                 units::milliseconds(9), units::milliseconds(10));
+  // Two sentinel samples (after_sending == before_sending): PRT unknown.
+  metrics.record(units::milliseconds(20), units::milliseconds(20),
+                 units::milliseconds(29), units::milliseconds(30));
+  metrics.record(0, 0, 0, units::milliseconds(1));
+  EXPECT_EQ(metrics.received(), 3u);
+  EXPECT_EQ(metrics.prt_unknown(), 2u);
+  // Before the fix the sentinels were recorded as PRT = 0 and dragged the
+  // mean to 4/3 ms; now the single real sample defines it.
+  EXPECT_EQ(metrics.prt_ms().count(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.prt_ms().mean(), 4.0);
+  // PT/SRT are unaffected by the sentinel.
+  EXPECT_EQ(metrics.pt_ms().count(), 3u);
+}
+
 TEST(Metrics, RefusedConnections) {
   Metrics metrics;
   metrics.count_refused_connection();
