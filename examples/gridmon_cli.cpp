@@ -18,6 +18,14 @@
 //       fault-injection scenarios also get a loss-over-time sparkline in
 //       the table output.
 //
+//   gridmon_cli diff <baseline.json> <candidate.json> [--json]
+//               [--tolerance PCT] [--timing-tolerance PCT]
+//       Compare two campaign JSON documents (from `run --json`) aligned by
+//       (scenario, seed): per-metric deltas with a verdict. Deterministic
+//       metrics use --tolerance (default 2%), wall-clock metrics the looser
+//       advisory --timing-tolerance (default 10%). Exits 1 on regression,
+//       2 when the documents cannot be compared (schema mismatch).
+//
 //   gridmon_cli narada [--connections N] [--transport tcp|nio|udp]
 //               [--ack auto|client] [--brokers N] [--minutes M]
 //               [--pad BYTES] [--persistent] [--routing-fix] [--seed S]
@@ -35,6 +43,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -55,15 +64,17 @@ namespace {
       stderr,
       "usage: %s list [prefix]\n"
       "       %s run <id|prefix>... [--seeds N] [--jobs N]\n"
-      "           [--minutes M | --quick] [--csv|--json]\n"
+      "           [--minutes M | --quick] [--csv|--json] [--slo]\n"
       "           [--trace-out DIR] [--series-out DIR]\n"
+      "       %s diff <baseline.json> <candidate.json> [--json]\n"
+      "           [--tolerance PCT] [--timing-tolerance PCT]\n"
       "       %s narada|rgma [options]\n"
       "  common: --connections N --minutes M --seed S --csv\n"
       "  narada: --transport tcp|nio|udp --ack auto|client\n"
       "          --brokers N --pad BYTES --persistent --routing-fix\n"
       "  rgma:   --distributed --secondary --sp-delay S --no-warmup\n"
       "          --secure --legacy\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -267,11 +278,14 @@ int cmd_run(int argc, char** argv) {
   int minutes = 5;
   bool csv = false;
   bool json = false;
+  bool slo = false;
   std::string trace_out;
   std::string series_out;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--seeds") {
+    if (flag == "--slo") {
+      slo = true;
+    } else if (flag == "--seeds") {
       options.seeds = static_cast<int>(need_value(argc, argv, i));
     } else if (flag == "--jobs") {
       options.jobs = static_cast<int>(need_value(argc, argv, i));
@@ -405,13 +419,33 @@ int cmd_run(int argc, char** argv) {
     }
   }
 
+  // --slo: gate the exit code on the per-run SLO verdicts (CI usage). The
+  // verdicts were evaluated by run_scenario; this only tallies them.
+  int slo_failures = 0;
+  if (slo) {
+    for (const auto& record : campaign.runs()) {
+      if (record.results.slo.evaluated && !record.results.slo.pass) {
+        ++slo_failures;
+      }
+    }
+  }
+  auto slo_exit = [&]() -> int {
+    if (!slo || slo_failures == 0) return 0;
+    std::fprintf(stderr, "SLO: %d run(s) violated their objectives\n",
+                 slo_failures);
+    return 1;
+  };
+
   if (csv) {
     std::printf("%s", campaign.csv().c_str());
-    return 0;
+    return slo_exit();
   }
   if (json) {
-    std::printf("%s", campaign.json().c_str());
-    return 0;
+    // The CLI snapshot is for humans/dashboards, so it carries the
+    // (nondeterministic) timing fields; determinism tests use the default
+    // timing-free form.
+    std::printf("%s", campaign.json(/*include_timing=*/true).c_str());
+    return slo_exit();
   }
   // Aggregated per-scenario table (pooled seeds, the paper's merge). Chaos
   // scenarios (any injected faults) get the availability columns appended.
@@ -452,6 +486,29 @@ int cmd_run(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::printf("%s", table.render().c_str());
+
+  // SLO verdict table: one row per (scenario, seed) with a declared spec,
+  // worst run first within a scenario.
+  if (slo) {
+    util::TextTable slo_table(
+        {"scenario", "seed", "verdict", "worst burn", "worst violation"});
+    int slo_rows = 0;
+    for (const auto& record : campaign.runs()) {
+      const auto& report = record.results.slo;
+      if (!report.evaluated) continue;
+      slo_table.add_row({record.scenario_id, std::to_string(record.seed),
+                         report.pass ? "pass" : "FAIL",
+                         util::TextTable::format(report.worst_burn, 3),
+                         report.worst_violation()});
+      ++slo_rows;
+    }
+    if (slo_rows == 0) {
+      std::printf("\n(no scenario in this campaign declares an SLO)\n");
+    } else {
+      std::printf("\nSLO verdicts (burn > 1 violates):\n%s",
+                  slo_table.render().c_str());
+    }
+  }
 
   // Loss-over-time sparklines around the fault windows (chaos scenarios,
   // obs-enabled runs only). One line per run; '^' marks the sample windows
@@ -501,7 +558,57 @@ int cmd_run(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  return slo_exit();
+}
+
+int cmd_diff(int argc, char** argv) {
+  std::vector<std::string> files;
+  core::DiffOptions options;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      json = true;
+    } else if (flag == "--tolerance") {
+      if (i + 1 >= argc) usage(argv[0]);
+      options.rel_tolerance_pct = std::atof(argv[++i]);
+    } else if (flag == "--timing-tolerance") {
+      if (i + 1 >= argc) usage(argv[0]);
+      options.timing_tolerance_pct = std::atof(argv[++i]);
+    } else if (!flag.empty() && flag[0] == '-') {
+      usage(argv[0]);
+    } else {
+      files.push_back(flag);
+    }
+  }
+  if (files.size() != 2) usage(argv[0]);
+
+  auto read_file = [](const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return true;
+  };
+  std::string baseline;
+  std::string candidate;
+  if (!read_file(files[0], baseline)) {
+    std::fprintf(stderr, "cannot read baseline %s\n", files[0].c_str());
+    return 2;
+  }
+  if (!read_file(files[1], candidate)) {
+    std::fprintf(stderr, "cannot read candidate %s\n", files[1].c_str());
+    return 2;
+  }
+
+  const core::CampaignDiff diff =
+      core::diff_campaigns(baseline, candidate, options);
+  std::printf("%s", json ? diff.json().c_str() : diff.table().c_str());
+  if (!diff.comparable) {
+    if (json) std::fprintf(stderr, "diff refused: %s\n", diff.error.c_str());
+    return 2;
+  }
+  return diff.regression ? 1 : 0;
 }
 
 }  // namespace
@@ -511,6 +618,7 @@ int main(int argc, char** argv) {
   const std::string system = argv[1];
   if (system == "list") return cmd_list(argc, argv);
   if (system == "run") return cmd_run(argc, argv);
+  if (system == "diff") return cmd_diff(argc, argv);
   const Args args = parse(argc, argv);
 
   if (system == "narada") {

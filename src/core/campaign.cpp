@@ -55,6 +55,14 @@ Results Repetitions::pooled() const {
     for (std::size_t w = 0; w < run_ttr.size(); ++w) {
       pooled_ttr[w] = std::max(pooled_ttr[w], run_ttr[w]);
     }
+    // Memory footprint pools the worst case across seeds — the number the
+    // capacity question ("does N clients fit?") actually needs.
+    out.mem.enabled = out.mem.enabled || run.mem.enabled;
+    for (std::size_t c = 0; c < obs::kMemCategoryCount; ++c) {
+      out.mem.live[c] = std::max(out.mem.live[c], run.mem.live[c]);
+      out.mem.peak[c] = std::max(out.mem.peak[c], run.mem.peak[c]);
+    }
+    out.mem.peak_total = std::max(out.mem.peak_total, run.mem.peak_total);
   }
   out.servers.cpu_idle_pct = idle / static_cast<double>(runs_.size());
   out.servers.memory_bytes = mem / static_cast<std::int64_t>(runs_.size());
@@ -80,18 +88,20 @@ Repetitions Campaign::repetitions(std::string_view scenario_id) const {
 
 namespace {
 
-void append_row(std::string& out, const RunRecord& run, bool json) {
+void append_row(std::string& out, const RunRecord& run, bool json,
+                bool timing = false) {
   const auto& m = run.results.metrics;
   const auto& k = run.results.kernel;
   const auto& a = run.results.availability;
-  char buffer[1024];
+  char buffer[2048];
   if (json) {
     std::snprintf(
         buffer, sizeof(buffer),
         "  {\"scenario\": \"%s\", \"seed\": %llu, \"sent\": %llu, "
         "\"received\": %llu, \"loss_pct\": %.4f, \"rtt_mean_ms\": %.3f, "
         "\"rtt_stddev_ms\": %.3f, \"rtt_p95_ms\": %.3f, \"rtt_p99_ms\": "
-        "%.3f, \"rtt_p100_ms\": %.3f, \"cpu_idle_pct\": %.1f, "
+        "%.3f, \"rtt_p100_ms\": %.3f, \"pt_mean_ms\": %.3f, "
+        "\"cpu_idle_pct\": %.1f, "
         "\"memory_mib\": %lld, \"events_forwarded\": %llu, \"wire_bytes\": "
         "%lld, \"refused\": %llu, \"completed\": %s, \"sim_events\": %llu, "
         "\"peak_queue_depth\": %llu, \"cb_heap_allocs\": %llu, "
@@ -103,7 +113,7 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         static_cast<unsigned long long>(m.sent()),
         static_cast<unsigned long long>(m.received()), m.loss_rate() * 100.0,
         m.rtt_mean_ms(), m.rtt_stddev_ms(), m.rtt_percentile_ms(95),
-        m.rtt_percentile_ms(99), m.rtt_percentile_ms(100),
+        m.rtt_percentile_ms(99), m.rtt_percentile_ms(100), m.pt_ms().mean(),
         run.results.servers.cpu_idle_pct,
         static_cast<long long>(run.results.servers.memory_bytes / units::MiB),
         static_cast<unsigned long long>(run.results.events_forwarded),
@@ -131,7 +141,40 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
       std::snprintf(buffer, sizeof(buffer), "%.1f", a.ttr_windows_ms[w]);
       out += buffer;
     }
-    out += "]}";
+    out += "]";
+    const auto& slo = run.results.slo;
+    std::snprintf(buffer, sizeof(buffer),
+                  ", \"slo_pass\": %s, \"slo_worst_burn\": %.3f",
+                  !slo.evaluated ? "null" : (slo.pass ? "true" : "false"),
+                  slo.worst_burn);
+    out += buffer;
+    if (slo.evaluated && !slo.pass) {
+      out += ", \"slo_worst\": \"" + slo.worst_violation() + "\"";
+    }
+    const auto& mem = run.results.mem;
+    std::snprintf(buffer, sizeof(buffer), ", \"peak_model_bytes\": %lld",
+                  static_cast<long long>(mem.peak_total));
+    out += buffer;
+    if (mem.enabled) {
+      out += ", \"mem_peak_bytes\": {";
+      for (std::size_t c = 0; c < obs::kMemCategoryCount; ++c) {
+        if (c > 0) out += ", ";
+        std::snprintf(buffer, sizeof(buffer), "\"%s\": %lld",
+                      std::string(obs::to_string(
+                                      static_cast<obs::MemCategory>(c)))
+                          .c_str(),
+                      static_cast<long long>(mem.peak[c]));
+        out += buffer;
+      }
+      out += "}";
+    }
+    if (timing) {
+      std::snprintf(buffer, sizeof(buffer),
+                    ", \"wall_seconds\": %.3f, \"events_per_sec\": %.0f",
+                    run.wall_seconds, run.events_per_sec());
+      out += buffer;
+    }
+    out += "}";
     return;
   } else {
     std::snprintf(
@@ -162,8 +205,15 @@ void append_row(std::string& out, const RunRecord& run, bool json) {
         static_cast<unsigned long long>(a.reconnects),
         static_cast<unsigned long long>(a.resubscribes),
         static_cast<unsigned long long>(a.reregistrations));
+    out += buffer;
+    // SLO verdict (-1 = no spec, 0 = fail, 1 = pass) and the model's
+    // peak footprint ride at the end so older column prefixes stay put.
+    const auto& slo = run.results.slo;
+    std::snprintf(buffer, sizeof(buffer), ",%d,%.3f,%lld",
+                  !slo.evaluated ? -1 : (slo.pass ? 1 : 0), slo.worst_burn,
+                  static_cast<long long>(run.results.mem.peak_total));
+    out += buffer;
   }
-  out += buffer;
 }
 
 }  // namespace
@@ -175,7 +225,7 @@ std::string Campaign::csv() const {
       "events_forwarded,wire_bytes,refused,completed,sim_events,"
       "peak_queue_depth,cb_heap_allocs,handle_allocs,faults,downtime_ms,"
       "ttr_ms,lost_in_window,lost_post_window,late,reconnects,resubscribes,"
-      "reregistrations\n";
+      "reregistrations,slo_pass,slo_worst_burn,peak_model_bytes\n";
   for (const auto& run : runs_) {
     append_row(out, run, /*json=*/false);
     out += '\n';
@@ -183,13 +233,18 @@ std::string Campaign::csv() const {
   return out;
 }
 
-std::string Campaign::json() const {
-  std::string out = "[\n";
+std::string Campaign::json(bool include_timing) const {
+  char header[96];
+  std::snprintf(header, sizeof(header),
+                "{\"schema_version\": %d, \"kind\": \"gridmon_campaign\", "
+                "\"runs\": [\n",
+                kCampaignSchemaVersion);
+  std::string out = header;
   for (std::size_t i = 0; i < runs_.size(); ++i) {
-    append_row(out, runs_[i], /*json=*/true);
+    append_row(out, runs_[i], /*json=*/true, include_timing);
     out += i + 1 < runs_.size() ? ",\n" : "\n";
   }
-  out += "]\n";
+  out += "]}\n";
   return out;
 }
 

@@ -19,6 +19,12 @@
 
 namespace gridmon::core {
 
+/// Version of the campaign JSON document layout. Bump when a field is
+/// renamed/removed or its meaning changes (additions are compatible);
+/// `gridmon_cli diff` refuses to compare documents with mismatched
+/// versions.
+inline constexpr int kCampaignSchemaVersion = 1;
+
 /// One completed (scenario, seed) run.
 struct RunRecord {
   std::string scenario_id;
@@ -99,9 +105,14 @@ class Campaign {
   [[nodiscard]] double wall_seconds() const { return wall_seconds_; }
 
   /// Machine-readable exports. One row/object per run; every field is a
-  /// deterministic function of (scenario, duration, seed).
+  /// deterministic function of (scenario, duration, seed). The JSON export
+  /// is a schema-versioned document (`{"schema_version": N, "kind":
+  /// "gridmon_campaign", "runs": [...]}`) so `gridmon_cli diff` can refuse
+  /// incompatible baselines. `include_timing` adds the nondeterministic
+  /// wall-clock fields (per-run wall_seconds/events_per_sec) for human
+  /// snapshots; determinism tests compare the default timing-free form.
   [[nodiscard]] std::string csv() const;
-  [[nodiscard]] std::string json() const;
+  [[nodiscard]] std::string json(bool include_timing = false) const;
 
  private:
   std::vector<RunRecord> runs_;

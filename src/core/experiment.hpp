@@ -18,7 +18,9 @@
 #include "core/metrics.hpp"
 #include "jms/message.hpp"
 #include "narada/transport.hpp"
+#include "obs/memprof.hpp"
 #include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "sim/simulation.hpp"
 #include "util/units.hpp"
 
@@ -47,6 +49,11 @@ struct Results {
   /// RNG, so every other Results field is identical with obs on or off —
   /// only the kernel event counts move.
   std::shared_ptr<const obs::Report> obs;
+  /// Model memory-footprint summary (all-zero unless obs + memprof were
+  /// on). peak_total is the "peak_model_bytes" campaign column.
+  obs::MemSummary mem;
+  /// SLO verdict (evaluated == false unless the scenario carried a spec).
+  obs::SloReport slo;
 
   [[nodiscard]] bool hit_oom_wall() const { return refused > 0; }
 };

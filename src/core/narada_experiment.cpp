@@ -160,6 +160,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
   // middleware mark helpers route to it. The sampler below only reads
   // state, so metrics are identical with obs on or off.
   std::unique_ptr<obs::Recorder> recorder;
+  std::unique_ptr<obs::MemProfile> memprof;
   obs::HistogramSeries* rtt_series = nullptr;
   if (obs::kEnabled && config.obs.enabled) {
     recorder = std::make_unique<obs::Recorder>(hydra.sim(), config.obs);
@@ -175,8 +176,19 @@ Results run_narada_experiment(const NaradaConfig& config) {
     timeline.gauge("broker_events_received");
     timeline.gauge("broker_events_delivered");
     timeline.gauge("broker_events_forwarded");
+    if (config.obs.memprof) {
+      // Memory-footprint gauges ride after the classic columns so the
+      // pinned series prefix ("t_ms,sent,received,...") never moves.
+      memprof = std::make_unique<obs::MemProfile>();
+      timeline.gauge("mem_broker_routing");
+      timeline.gauge("mem_client_records");
+      timeline.gauge("mem_net_connections");
+      timeline.gauge("mem_kernel_slab");
+      timeline.gauge("mem_total");
+    }
   }
   obs::ScopedRecorder scoped(recorder.get());
+  obs::ScopedMemProfile scoped_mem(memprof.get());
 
   // Subscriber programs.
   std::vector<std::shared_ptr<narada::NaradaClient>> subscribers;
@@ -317,7 +329,8 @@ Results run_narada_experiment(const NaradaConfig& config) {
       recorder->add_chaos(std::string(to_string(event.kind)), base + event.at,
                           base + event.at + event.duration);
     }
-    recorder->set_sampler([&results, &hydra, &dbn](obs::Timeline& timeline) {
+    recorder->set_sampler([&results, &hydra, &dbn,
+                           prof = memprof.get()](obs::Timeline& timeline) {
       timeline.gauge("sent").set(
           static_cast<double>(results.metrics.sent()));
       timeline.gauge("received").set(
@@ -337,6 +350,25 @@ Results run_narada_experiment(const NaradaConfig& config) {
           .set(static_cast<double>(broker_stats.events_delivered));
       timeline.gauge("broker_events_forwarded")
           .set(static_cast<double>(broker_stats.events_forwarded));
+      if (prof != nullptr) {
+        prof->set(obs::MemCategory::kKernelSlab,
+                  static_cast<std::int64_t>(
+                      hydra.sim().kernel_stats().slab_bytes));
+        timeline.gauge("mem_broker_routing")
+            .set(static_cast<double>(
+                prof->live(obs::MemCategory::kBrokerRouting)));
+        timeline.gauge("mem_client_records")
+            .set(static_cast<double>(
+                prof->live(obs::MemCategory::kClientRecords)));
+        timeline.gauge("mem_net_connections")
+            .set(static_cast<double>(
+                prof->live(obs::MemCategory::kNetConnections)));
+        timeline.gauge("mem_kernel_slab")
+            .set(static_cast<double>(
+                prof->live(obs::MemCategory::kKernelSlab)));
+        timeline.gauge("mem_total")
+            .set(static_cast<double>(prof->live_total()));
+      }
     });
     recorder->arm(kStartTime);
   }
@@ -373,6 +405,11 @@ Results run_narada_experiment(const NaradaConfig& config) {
   results.refused = results.metrics.refused_connections();
   results.completed = results.refused == 0;
   results.kernel = hydra.sim().kernel_stats();
+  if (memprof) {
+    memprof->set(obs::MemCategory::kKernelSlab,
+                 static_cast<std::int64_t>(results.kernel.slab_bytes));
+    results.mem = memprof->summary();
+  }
 
   // Availability: classify every undelivered message against the fault
   // windows (sums are order-independent), then fold in recovery effort.

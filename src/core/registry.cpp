@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/report.hpp"
 #include "core/scenarios.hpp"
 
 namespace gridmon::core {
@@ -20,7 +21,7 @@ const char* ScenarioSpec::system() const {
 
 Results run_scenario(const ScenarioSpec& spec, SimTime duration,
                      std::uint64_t seed, const obs::Options& obs) {
-  return std::visit(
+  Results results = std::visit(
       [&](const auto& config) -> Results {
         using T = std::decay_t<decltype(config)>;
         if constexpr (std::is_same_v<T, NaradaConfig>) {
@@ -40,6 +41,13 @@ Results run_scenario(const ScenarioSpec& spec, SimTime duration,
         }
       },
       spec.config);
+  // SLO verdicts ride on every run of a spec that declares objectives;
+  // evaluation is pure arithmetic over deterministic fields, so the
+  // verdict columns inherit the campaign determinism contract.
+  if (!spec.slo.empty()) {
+    results.slo = evaluate_slo(spec.slo, results, duration);
+  }
+  return results;
 }
 
 void ScenarioRegistry::add(ScenarioSpec spec) {

@@ -43,6 +43,10 @@ struct ScenarioSpec {
   std::string id;           ///< unique, path-like: "narada/single/2000"
   std::string description;  ///< one line, shown by `gridmon_cli list`
   ScenarioConfig config;
+  /// Service-level objectives evaluated after every run (empty = none).
+  /// run_scenario fills Results::slo from this; `gridmon_cli run --slo`
+  /// turns the verdicts into an exit code.
+  obs::SloSpec slo = {};
 
   /// "narada", "rgma" or "custom" — for display only.
   [[nodiscard]] const char* system() const;

@@ -33,4 +33,83 @@ inline const std::vector<double>& paper_percentiles() {
 /// Table III-style qualitative grade from measured numbers.
 [[nodiscard]] std::string grade_realtime(const Results& results);
 
+// --- SLO adapter -------------------------------------------------------------
+
+/// Pack a run's metrics + availability counters into the plain-number
+/// input obs::evaluate_slo consumes. `duration` is the campaign's virtual
+/// duration (the availability denominator — deterministic and comparable
+/// across scenarios, unlike the ramp-dependent horizon).
+[[nodiscard]] obs::SloInput slo_input(const Results& results,
+                                      SimTime duration);
+
+/// Evaluate a spec against a run (or pooled) Results.
+[[nodiscard]] obs::SloReport evaluate_slo(const obs::SloSpec& spec,
+                                          const Results& results,
+                                          SimTime duration);
+
+// --- Cross-run regression diffing --------------------------------------------
+//
+// `gridmon_cli diff baseline.json candidate.json` aligns two campaign JSON
+// documents by (scenario, seed) and reports per-metric deltas with a
+// verdict. Deterministic metrics (loss, latency, footprint, SLO burn) are
+// judged against `rel_tolerance_pct`; wall-clock metrics are advisory only
+// (they vary run to run) and use the looser `timing_tolerance_pct`.
+// Documents with mismatched schema_version are refused outright.
+
+struct DiffOptions {
+  /// Relative noise threshold for deterministic metrics, percent. Deltas
+  /// within it are reported but not verdict-bearing.
+  double rel_tolerance_pct = 2.0;
+  /// Advisory threshold for wall-clock metrics (wall_seconds,
+  /// events_per_sec), percent.
+  double timing_tolerance_pct = 10.0;
+};
+
+/// One compared metric of one aligned run.
+struct MetricDelta {
+  std::string name;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// Relative change, percent; candidate-only magnitude when baseline is 0.
+  double delta_pct = 0.0;
+  bool present = false;     ///< both documents carried the metric
+  bool advisory = false;    ///< wall-clock metric: never verdict-bearing
+  bool regression = false;  ///< worsened past tolerance, in the bad direction
+  bool improvement = false;
+};
+
+/// One (scenario, seed) pair aligned across the two documents.
+struct RunDiff {
+  std::string scenario_id;
+  std::uint64_t seed = 0;
+  std::vector<MetricDelta> metrics;
+  /// "pass -> FAIL" style note when the SLO verdict flipped; empty else.
+  std::string slo_note;
+  bool regression = false;
+};
+
+struct CampaignDiff {
+  /// False when the documents could not be compared (parse failure or
+  /// schema_version mismatch); `error` says why and nothing else is valid.
+  bool comparable = false;
+  std::string error;
+  int baseline_schema = -1;
+  int candidate_schema = -1;
+  std::vector<RunDiff> runs;
+  std::vector<std::string> only_baseline;   ///< runs missing from candidate
+  std::vector<std::string> only_candidate;  ///< runs new in candidate
+  bool regression = false;  ///< any aligned run regressed
+
+  /// Human-readable terminal table.
+  [[nodiscard]] std::string table() const;
+  /// Machine-readable verdict document.
+  [[nodiscard]] std::string json() const;
+};
+
+/// Diff two campaign JSON documents (the strings `Campaign::json()`
+/// produces, with or without timing fields).
+[[nodiscard]] CampaignDiff diff_campaigns(std::string_view baseline_json,
+                                          std::string_view candidate_json,
+                                          const DiffOptions& options = {});
+
 }  // namespace gridmon::core

@@ -265,6 +265,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   // Observability: one recorder for the run, installed thread-locally so
   // servlet mark helpers route to it (see narada_experiment.cpp).
   std::unique_ptr<obs::Recorder> recorder;
+  std::unique_ptr<obs::MemProfile> memprof;
   obs::HistogramSeries* rtt_series = nullptr;
   if (obs::kEnabled && config.obs.enabled) {
     recorder = std::make_unique<obs::Recorder>(hydra.sim(), config.obs);
@@ -281,8 +282,18 @@ Results run_rgma_experiment(const RgmaConfig& config) {
     timeline.gauge("cs_batches_received");
     timeline.gauge("cs_tuples_matched");
     timeline.gauge("cs_polls_served");
+    if (config.obs.memprof) {
+      // Memory-footprint gauges after the classic columns (the series
+      // prefix is pinned by obs_test).
+      memprof = std::make_unique<obs::MemProfile>();
+      timeline.gauge("mem_rgma_tuples");
+      timeline.gauge("mem_net_connections");
+      timeline.gauge("mem_kernel_slab");
+      timeline.gauge("mem_total");
+    }
   }
   obs::ScopedRecorder scoped(recorder.get());
+  obs::ScopedMemProfile scoped_mem(memprof.get());
 
   // Client hosts: 4–7 run generator programs and the subscriber(s).
   const std::vector<int> client_hosts = {4, 5, 6, 7};
@@ -413,8 +424,8 @@ Results run_rgma_experiment(const RgmaConfig& config) {
       recorder->add_chaos(std::string(to_string(event.kind)), base + event.at,
                           base + event.at + event.duration);
     }
-    recorder->set_sampler([&results, &hydra,
-                           &network](obs::Timeline& timeline) {
+    recorder->set_sampler([&results, &hydra, &network,
+                           prof = memprof.get()](obs::Timeline& timeline) {
       timeline.gauge("sent").set(
           static_cast<double>(results.metrics.sent()));
       timeline.gauge("received").set(
@@ -453,6 +464,22 @@ Results run_rgma_experiment(const RgmaConfig& config) {
           .set(static_cast<double>(tuples_matched));
       timeline.gauge("cs_polls_served")
           .set(static_cast<double>(polls_served));
+      if (prof != nullptr) {
+        prof->set(obs::MemCategory::kKernelSlab,
+                  static_cast<std::int64_t>(
+                      hydra.sim().kernel_stats().slab_bytes));
+        timeline.gauge("mem_rgma_tuples")
+            .set(static_cast<double>(
+                prof->live(obs::MemCategory::kRgmaTuples)));
+        timeline.gauge("mem_net_connections")
+            .set(static_cast<double>(
+                prof->live(obs::MemCategory::kNetConnections)));
+        timeline.gauge("mem_kernel_slab")
+            .set(static_cast<double>(
+                prof->live(obs::MemCategory::kKernelSlab)));
+        timeline.gauge("mem_total")
+            .set(static_cast<double>(prof->live_total()));
+      }
     });
     recorder->arm(kStartTime);
   }
@@ -490,6 +517,11 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   results.refused = results.metrics.refused_connections();
   results.completed = results.refused == 0;
   results.kernel = hydra.sim().kernel_stats();
+  if (memprof) {
+    memprof->set(obs::MemCategory::kKernelSlab,
+                 static_cast<std::int64_t>(results.kernel.slab_bytes));
+    results.mem = memprof->summary();
+  }
 
   // Availability: classify undelivered rows against the fault windows
   // (order-independent sums), then fold in recovery effort.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cluster/costs.hpp"
+#include "obs/memprof.hpp"
 #include "obs/recorder.hpp"
 #include "util/log.hpp"
 
@@ -60,6 +61,9 @@ void Broker::crash() {
   client_conns_.clear();
   for (const auto& sub : subscriptions_) {
     if (sub.via_udp) host_.heap().release(costs::kConnectionBufferBytes / 4);
+    obs::mem_sub(obs::MemCategory::kBrokerRouting,
+                 static_cast<std::int64_t>(sizeof(Subscription) +
+                                           sub.topic.size()));
   }
   subscriptions_.clear();
   queue_cursor_.clear();
@@ -164,13 +168,22 @@ void Broker::on_client_frame(const net::StreamConnectionPtr& conn,
       sub.ack_mode = frame->ack_mode;
       sub.conn = conn;
       sub.conn_side = 1;
+      obs::mem_add(obs::MemCategory::kBrokerRouting,
+                   static_cast<std::int64_t>(sizeof(Subscription) +
+                                             sub.topic.size()));
       subscriptions_.push_back(std::move(sub));
       advertise_subscription(frame->topic);
       break;
     }
     case FrameKind::kUnsubscribe:
       std::erase_if(subscriptions_, [&](const Subscription& s) {
-        return s.conn == conn && s.topic == frame->topic;
+        const bool drop = s.conn == conn && s.topic == frame->topic;
+        if (drop) {
+          obs::mem_sub(obs::MemCategory::kBrokerRouting,
+                       static_cast<std::int64_t>(sizeof(Subscription) +
+                                                 s.topic.size()));
+        }
+        return drop;
       });
       break;
     case FrameKind::kPublish: {
@@ -217,6 +230,9 @@ void Broker::on_udp_datagram(const net::Datagram& datagram) {
       sub.ack_mode = frame->ack_mode;
       sub.via_udp = true;
       sub.udp = frame->reply_to;
+      obs::mem_add(obs::MemCategory::kBrokerRouting,
+                   static_cast<std::int64_t>(sizeof(Subscription) +
+                                             sub.topic.size()));
       subscriptions_.push_back(std::move(sub));
       advertise_subscription(frame->topic);
       // Welcome datagram completes the client's registration.
@@ -478,6 +494,10 @@ void Broker::on_peer_frame(std::size_t peer_index,
       const bool fresh =
           remote_topics_[frame->origin_broker].insert(frame->topic).second;
       if (!fresh) break;
+      // Remote-topic interest is routing state too (one set node + chars).
+      obs::mem_add(obs::MemCategory::kBrokerRouting,
+                   static_cast<std::int64_t>(sizeof(std::string) + 48 +
+                                             frame->topic.size()));
       const int from_id = peers_[peer_index].id;
       for (const Peer& other : peers_) {
         if (other.id == from_id || other.id == frame->origin_broker) continue;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cluster/costs.hpp"
+#include "obs/memprof.hpp"
 
 namespace gridmon::narada {
 
@@ -23,10 +24,15 @@ NaradaClient::NaradaClient(cluster::Host& host, net::Lan& lan,
       streams_(streams),
       broker_(broker),
       local_(local),
-      transport_(transport) {}
+      transport_(transport) {
+  // Model-memory accounting: one per-client record (the ROADMAP's
+  // million-generator wall is exactly this state times a million).
+  obs::mem_add(obs::MemCategory::kClientRecords, sizeof(NaradaClient));
+}
 
 NaradaClient::~NaradaClient() {
   if (udp_bound_) lan_.unbind(local_);
+  obs::mem_sub(obs::MemCategory::kClientRecords, sizeof(NaradaClient));
 }
 
 void NaradaClient::notify_ready(bool ok) {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/memprof.hpp"
+
 namespace gridmon::net {
 namespace {
 
@@ -14,6 +16,15 @@ StreamConnection::StreamConnection(Lan& lan, Endpoint client, Endpoint server)
     : lan_(lan) {
   sides_[0].local = client;
   sides_[1].local = server;
+  // Model-memory accounting: one live connection's host-side state.
+  obs::mem_add(obs::MemCategory::kNetConnections, sizeof(StreamConnection));
+}
+
+StreamConnection::~StreamConnection() {
+  if (open_) {
+    obs::mem_sub(obs::MemCategory::kNetConnections,
+                 sizeof(StreamConnection));
+  }
 }
 
 void StreamConnection::set_handler(
@@ -68,6 +79,7 @@ void StreamConnection::send(int from_side, std::int64_t bytes,
 void StreamConnection::close() {
   if (!open_) return;
   open_ = false;
+  obs::mem_sub(obs::MemCategory::kNetConnections, sizeof(StreamConnection));
   // FIN/FIN-ACK exchange, then notify both sides.
   auto self = shared_from_this();
   const SimTime fin = lan_.frame_transit(sides_[0].local.node,

@@ -53,6 +53,8 @@ class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
     return messages_sent_[side];
   }
 
+  ~StreamConnection();
+
  private:
   friend class StreamTransport;
   StreamConnection(Lan& lan, Endpoint client, Endpoint server);

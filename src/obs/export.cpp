@@ -57,7 +57,8 @@ void append_value(std::string& out, double v) {
 std::string chrome_trace_json(const Report& report) {
   std::string out;
   out.reserve(4096 + report.traces.size() * 256);
-  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"schema_version\":" + std::to_string(kExportSchemaVersion) +
+         ",\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   auto emit = [&](const std::string& event) {
     if (!first) out += ",\n";
@@ -147,7 +148,8 @@ std::string series_csv(const Report& report) {
 
 std::string series_json(const Report& report) {
   std::string out;
-  out += "{\"columns\":[\"t_ms\"";
+  out += "{\"schema_version\":" + std::to_string(kExportSchemaVersion) +
+         ",\"kind\":\"gridmon_series\",\"columns\":[\"t_ms\"";
   for (const std::string& column : report.columns) {
     out += ",\"";
     append_escaped(out, column);

@@ -26,14 +26,19 @@
 
 namespace gridmon::obs {
 
+/// Version stamped into the JSON exports (`"schema_version"` key) so
+/// downstream tooling can refuse incompatible documents. Perfetto ignores
+/// the extra key in the trace wrapper.
+inline constexpr int kExportSchemaVersion = 1;
+
 /// Chrome trace-event JSON for Perfetto / chrome://tracing.
 [[nodiscard]] std::string chrome_trace_json(const Report& report);
 
 /// Timeline as CSV: header "t_ms,<columns...>" + one row per sample.
 [[nodiscard]] std::string series_csv(const Report& report);
 
-/// Timeline as JSON: {"columns": [...], "samples": [[t_ms, ...], ...],
-/// "chaos": [...]}.
+/// Timeline as JSON: {"schema_version": N, "kind": "gridmon_series",
+/// "columns": [...], "samples": [[t_ms, ...], ...], "chaos": [...]}.
 [[nodiscard]] std::string series_json(const Report& report);
 
 struct StageStat {

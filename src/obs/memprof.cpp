@@ -1,0 +1,55 @@
+#include "obs/memprof.hpp"
+
+namespace gridmon::obs {
+
+std::string_view to_string(MemCategory category) {
+  switch (category) {
+    case MemCategory::kBrokerRouting:
+      return "broker_routing";
+    case MemCategory::kClientRecords:
+      return "client_records";
+    case MemCategory::kNetConnections:
+      return "net_connections";
+    case MemCategory::kRgmaTuples:
+      return "rgma_tuples";
+    case MemCategory::kKernelSlab:
+      return "kernel_slab";
+  }
+  return "unknown";
+}
+
+std::string_view gauge_name(MemCategory category) {
+  switch (category) {
+    case MemCategory::kBrokerRouting:
+      return "mem_broker_routing";
+    case MemCategory::kClientRecords:
+      return "mem_client_records";
+    case MemCategory::kNetConnections:
+      return "mem_net_connections";
+    case MemCategory::kRgmaTuples:
+      return "mem_rgma_tuples";
+    case MemCategory::kKernelSlab:
+      return "mem_kernel_slab";
+  }
+  return "mem_unknown";
+}
+
+namespace detail {
+MemProfile*& current_memprof() {
+  thread_local MemProfile* current = nullptr;
+  return current;
+}
+}  // namespace detail
+
+MemProfile* memprof() { return detail::current_memprof(); }
+
+ScopedMemProfile::ScopedMemProfile(MemProfile* profile)
+    : previous_(detail::current_memprof()) {
+  detail::current_memprof() = profile;
+}
+
+ScopedMemProfile::~ScopedMemProfile() {
+  detail::current_memprof() = previous_;
+}
+
+}  // namespace gridmon::obs

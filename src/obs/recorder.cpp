@@ -77,6 +77,9 @@ void Recorder::add_chaos(std::string name, SimTime begin, SimTime end) {
 
 void Recorder::arm(SimTime first_at) {
   timer_ = sim::PeriodicTimer(sim_, first_at, options_.sample_period, [this] {
+    // The sampling tick is a pure observer: discount it so
+    // KernelStats.events_executed is identical with obs on or off.
+    sim_.discount_stat_event();
     if (sampler_) sampler_(timeline_);
     timeline_.sample(sim_.now());
   });

@@ -58,6 +58,10 @@ struct Options {
   /// Trace every Nth message (deterministic, keyed on TraceKey hash);
   /// 0 disables span collection entirely, 1 traces every message.
   std::uint32_t span_sample_every = 16;
+  /// Model memory-footprint accounting (obs/memprof.hpp): per-subsystem
+  /// byte counters sampled as mem_* gauges and summarised per run. Only
+  /// takes effect when `enabled` is set.
+  bool memprof = true;
 };
 
 struct Mark {

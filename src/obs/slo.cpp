@@ -1,0 +1,241 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridmon::obs {
+
+std::string_view to_string(SloObjective::Kind kind) {
+  switch (kind) {
+    case SloObjective::Kind::kLossPct:
+      return "loss_pct";
+    case SloObjective::Kind::kDeadlineMissPct:
+      return "deadline_miss_pct";
+    case SloObjective::Kind::kTtrMs:
+      return "ttr_ms";
+    case SloObjective::Kind::kAvailabilityPct:
+      return "availability_pct";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(SloScope scope) {
+  switch (scope) {
+    case SloScope::kWholeRun:
+      return "whole";
+    case SloScope::kSteady:
+      return "steady";
+    case SloScope::kFaultWindows:
+      return "windows";
+  }
+  return "unknown";
+}
+
+SloSpec& SloSpec::max_loss_pct(double pct, SloScope scope) {
+  objectives.push_back({SloObjective::Kind::kLossPct, scope, pct});
+  return *this;
+}
+
+SloSpec& SloSpec::max_deadline_miss_pct(double pct) {
+  objectives.push_back(
+      {SloObjective::Kind::kDeadlineMissPct, SloScope::kWholeRun, pct});
+  return *this;
+}
+
+SloSpec& SloSpec::max_ttr_ms(double ms) {
+  objectives.push_back(
+      {SloObjective::Kind::kTtrMs, SloScope::kFaultWindows, ms});
+  return *this;
+}
+
+SloSpec& SloSpec::min_availability_pct(double pct) {
+  objectives.push_back(
+      {SloObjective::Kind::kAvailabilityPct, SloScope::kWholeRun, pct});
+  return *this;
+}
+
+std::string SloSpec::serialise() const {
+  std::string out;
+  char line[96];
+  for (const SloObjective& objective : objectives) {
+    std::snprintf(line, sizeof line, "%s %s %.17g\n",
+                  std::string(to_string(objective.kind)).c_str(),
+                  std::string(to_string(objective.scope)).c_str(),
+                  objective.bound);
+    out += line;
+  }
+  return out;
+}
+
+SloSpec SloSpec::parse(std::string_view text) {
+  SloSpec spec;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string kind_word;
+    if (!(fields >> kind_word)) continue;  // blank line
+    std::string scope_word;
+    double bound = 0.0;
+    if (!(fields >> scope_word >> bound)) {
+      throw std::invalid_argument("SloSpec::parse: malformed line: " + line);
+    }
+    SloObjective objective;
+    if (kind_word == "loss_pct") {
+      objective.kind = SloObjective::Kind::kLossPct;
+    } else if (kind_word == "deadline_miss_pct") {
+      objective.kind = SloObjective::Kind::kDeadlineMissPct;
+    } else if (kind_word == "ttr_ms") {
+      objective.kind = SloObjective::Kind::kTtrMs;
+    } else if (kind_word == "availability_pct") {
+      objective.kind = SloObjective::Kind::kAvailabilityPct;
+    } else {
+      throw std::invalid_argument("SloSpec::parse: unknown kind: " +
+                                  kind_word);
+    }
+    if (scope_word == "whole") {
+      objective.scope = SloScope::kWholeRun;
+    } else if (scope_word == "steady") {
+      objective.scope = SloScope::kSteady;
+    } else if (scope_word == "windows") {
+      objective.scope = SloScope::kFaultWindows;
+    } else {
+      throw std::invalid_argument("SloSpec::parse: unknown scope: " +
+                                  scope_word);
+    }
+    objective.bound = bound;
+    spec.objectives.push_back(objective);
+  }
+  return spec;
+}
+
+namespace {
+
+/// Burn for a ceiling bound: measured/bound, finite for bound == 0.
+double ceiling_burn(double measured, double bound) {
+  if (bound <= 0.0) return measured > 0.0 ? kMaxBurn : 0.0;
+  return std::min(kMaxBurn, measured / bound);
+}
+
+void add_check(SloReport& report, const SloObjective& objective,
+               double measured, double burn, int window = -1) {
+  SloCheck check;
+  check.objective = objective;
+  check.measured = measured;
+  check.burn = burn;
+  check.pass = burn <= 1.0 + 1e-9;
+  check.window = window;
+  report.pass = report.pass && check.pass;
+  report.worst_burn = std::max(report.worst_burn, burn);
+  report.checks.push_back(check);
+}
+
+double loss_measurement(const SloObjective& objective,
+                        const SloInput& input) {
+  if (input.sent == 0) return 0.0;
+  const std::uint64_t total_lost =
+      input.sent > input.received ? input.sent - input.received : 0;
+  std::uint64_t lost = total_lost;
+  switch (objective.scope) {
+    case SloScope::kWholeRun:
+      break;
+    case SloScope::kSteady: {
+      const std::uint64_t fault_attributed =
+          input.lost_in_window + input.lost_post_window;
+      lost = total_lost > fault_attributed ? total_lost - fault_attributed
+                                           : 0;
+      break;
+    }
+    case SloScope::kFaultWindows:
+      lost = input.lost_in_window;
+      break;
+  }
+  return 100.0 * static_cast<double>(lost) /
+         static_cast<double>(input.sent);
+}
+
+}  // namespace
+
+std::string SloReport::worst_violation() const {
+  const SloCheck* worst = nullptr;
+  for (const SloCheck& check : checks) {
+    if (check.pass) continue;
+    if (worst == nullptr || check.burn > worst->burn) worst = &check;
+  }
+  if (worst == nullptr) return "ok";
+  char buffer[160];
+  const bool floor =
+      worst->objective.kind == SloObjective::Kind::kAvailabilityPct;
+  if (worst->window >= 0) {
+    std::snprintf(buffer, sizeof buffer, "%s[w%d] %.1f %s %.1f (burn %.2f)",
+                  std::string(to_string(worst->objective.kind)).c_str(),
+                  worst->window, worst->measured, floor ? "<" : ">",
+                  worst->objective.bound, worst->burn);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%s(%s) %.2f %s %.2f (burn %.2f)",
+                  std::string(to_string(worst->objective.kind)).c_str(),
+                  std::string(to_string(worst->objective.scope)).c_str(),
+                  worst->measured, floor ? "<" : ">", worst->objective.bound,
+                  worst->burn);
+  }
+  return buffer;
+}
+
+SloReport evaluate_slo(const SloSpec& spec, const SloInput& input) {
+  SloReport report;
+  if (spec.empty()) return report;
+  report.evaluated = true;
+  for (const SloObjective& objective : spec.objectives) {
+    switch (objective.kind) {
+      case SloObjective::Kind::kLossPct: {
+        const double measured = loss_measurement(objective, input);
+        add_check(report, objective, measured,
+                  ceiling_burn(measured, objective.bound));
+        break;
+      }
+      case SloObjective::Kind::kDeadlineMissPct: {
+        const double measured =
+            input.received == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(input.delivered_late) /
+                      static_cast<double>(input.received);
+        add_check(report, objective, measured,
+                  ceiling_burn(measured, objective.bound));
+        break;
+      }
+      case SloObjective::Kind::kTtrMs: {
+        if (!input.ttr_windows_ms.empty()) {
+          // Multi-window burn rate: every outage window is its own check.
+          for (std::size_t w = 0; w < input.ttr_windows_ms.size(); ++w) {
+            const double measured = input.ttr_windows_ms[w];
+            add_check(report, objective, measured,
+                      ceiling_burn(measured, objective.bound),
+                      static_cast<int>(w));
+          }
+        } else {
+          // No window detail (pooled legacy input or no outages at all):
+          // evaluate the worst-window aggregate.
+          add_check(report, objective, input.ttr_ms,
+                    ceiling_burn(input.ttr_ms, objective.bound));
+        }
+        break;
+      }
+      case SloObjective::Kind::kAvailabilityPct: {
+        const double measured =
+            input.duration_ms <= 0.0
+                ? 100.0
+                : 100.0 * (1.0 - input.downtime_ms / input.duration_ms);
+        const double budget = std::max(1e-9, 100.0 - objective.bound);
+        const double burn =
+            std::min(kMaxBurn, std::max(0.0, 100.0 - measured) / budget);
+        add_check(report, objective, measured, burn);
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace gridmon::obs

@@ -1,5 +1,6 @@
 #include "rgma/consumer_service.hpp"
 
+#include "obs/memprof.hpp"
 #include "obs/recorder.hpp"
 #include "rgma/sql_eval.hpp"
 #include "rgma/sql_parser.hpp"
@@ -87,6 +88,7 @@ void ConsumerService::crash() {
   consumers_.clear();
   incoming_.clear();
   if (queued_bytes_ > 0) servlet_.host().heap().release(queued_bytes_);
+  obs::mem_sub(obs::MemCategory::kRgmaTuples, queued_bytes_);
   queued_bytes_ = 0;
   known_producers_.clear();
   GRIDMON_WARN("rgma.consumer") << "consumer container crashed";
@@ -253,6 +255,7 @@ void ConsumerService::handle_batch(const StreamBatch& batch) {
 
   for (const auto& tuple : batch.tuples) mark_tuple(tuple.values, "cs_queue");
   queued_bytes_ += batch.wire_size();
+  obs::mem_add(obs::MemCategory::kRgmaTuples, batch.wire_size());
   (void)servlet_.host().heap().allocate(batch.wire_size());
   incoming_.push_back(batch);
 }
@@ -271,6 +274,7 @@ void ConsumerService::evaluation_cycle() {
   std::deque<StreamBatch> work;
   work.swap(incoming_);
   servlet_.host().heap().release(queued_bytes_);
+  obs::mem_sub(obs::MemCategory::kRgmaTuples, queued_bytes_);
   queued_bytes_ = 0;
 
   const SimTime demand =

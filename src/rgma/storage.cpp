@@ -2,11 +2,45 @@
 
 #include <map>
 
+#include "obs/memprof.hpp"
+
 namespace gridmon::rgma {
+
+TupleStore::TupleStore(TupleStore&& other) noexcept
+    : config_(other.config_),
+      tuples_(std::move(other.tuples_)),
+      next_seq_(other.next_seq_),
+      bytes_(other.bytes_) {
+  other.tuples_.clear();
+  other.bytes_ = 0;
+}
+
+TupleStore& TupleStore::operator=(TupleStore&& other) noexcept {
+  if (this != &other) {
+    release_accounting();
+    config_ = other.config_;
+    tuples_ = std::move(other.tuples_);
+    next_seq_ = other.next_seq_;
+    bytes_ = other.bytes_;
+    other.tuples_.clear();
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+TupleStore::~TupleStore() { release_accounting(); }
+
+void TupleStore::release_accounting() {
+  if (bytes_ != 0) obs::mem_sub(obs::MemCategory::kRgmaTuples, bytes_);
+  bytes_ = 0;
+}
 
 std::uint64_t TupleStore::insert(Tuple tuple, SimTime now) {
   tuple.inserted_at = now;
   const std::uint64_t seq = next_seq_++;
+  const std::int64_t size = tuple.wire_size();
+  bytes_ += size;
+  obs::mem_add(obs::MemCategory::kRgmaTuples, size);
   tuples_.push_back(Stored{std::move(tuple), seq});
   return seq;
 }
@@ -18,6 +52,8 @@ std::int64_t TupleStore::prune(SimTime now) {
     freed += tuples_.front().tuple.wire_size();
     tuples_.pop_front();
   }
+  bytes_ -= freed;
+  if (freed != 0) obs::mem_sub(obs::MemCategory::kRgmaTuples, freed);
   return freed;
 }
 

@@ -27,6 +27,15 @@ class TupleStore {
  public:
   explicit TupleStore(StorageConfig config = {}) : config_(config) {}
 
+  // Stored bytes feed the obs memory profile (mem_rgma_tuples); moves
+  // transfer the accounting, destruction releases it (a servlet crash
+  // dropping its stores subtracts their footprint automatically).
+  TupleStore(const TupleStore&) = delete;
+  TupleStore& operator=(const TupleStore&) = delete;
+  TupleStore(TupleStore&& other) noexcept;
+  TupleStore& operator=(TupleStore&& other) noexcept;
+  ~TupleStore();
+
   /// Store a tuple inserted at `now`. Returns its monotonically increasing
   /// sequence number (continuous-query cursors index by it).
   std::uint64_t insert(Tuple tuple, SimTime now);
@@ -49,6 +58,8 @@ class TupleStore {
   [[nodiscard]] std::size_t size() const { return tuples_.size(); }
   [[nodiscard]] std::uint64_t head_sequence() const { return next_seq_; }
   [[nodiscard]] const StorageConfig& config() const { return config_; }
+  /// Wire bytes currently retained (what the memory profile sees).
+  [[nodiscard]] std::int64_t stored_bytes() const { return bytes_; }
 
  private:
   struct Stored {
@@ -56,9 +67,12 @@ class TupleStore {
     std::uint64_t seq;
   };
 
+  void release_accounting();
+
   StorageConfig config_;
   std::deque<Stored> tuples_;
   std::uint64_t next_seq_ = 1;
+  std::int64_t bytes_ = 0;
 };
 
 }  // namespace gridmon::rgma

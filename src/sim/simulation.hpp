@@ -101,6 +101,9 @@ struct KernelStats {
   std::uint64_t overflow_events = 0;
   /// Event-node slab chunks allocated (1024 nodes each).
   std::uint64_t slab_chunks = 0;
+  /// Bytes held by the event-node slab (chunks x nodes x node size) —
+  /// the kernel's share of the model memory footprint (obs/memprof).
+  std::uint64_t slab_bytes = 0;
 };
 
 class Simulation {
@@ -151,15 +154,23 @@ class Simulation {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t queue_size() const { return queue_size_; }
 
+  /// Exclude the event currently executing (or just executed) from
+  /// KernelStats.events_executed. Pure-observer events — the obs Timeline
+  /// sampling timer — call this so kernel event counts are identical with
+  /// observability on or off (raw events_executed() still counts them).
+  void discount_stat_event() { ++stat_discounted_; }
+
   /// Kernel self-metrics (deterministic; see KernelStats).
   [[nodiscard]] KernelStats kernel_stats() const {
     KernelStats stats;
-    stats.events_executed = executed_;
+    stats.events_executed = executed_ - stat_discounted_;
     stats.peak_queue_depth = peak_queue_depth_;
     stats.callback_heap_allocs = callback_heap_allocs_;
     stats.handles_materialised = handles_materialised_;
     stats.overflow_events = overflow_events_;
     stats.slab_chunks = chunks_.size();
+    stats.slab_bytes = static_cast<std::uint64_t>(chunks_.size()) *
+                       (1ull << kChunkShift) * sizeof(EventNode);
     return stats;
   }
 
@@ -238,6 +249,7 @@ class Simulation {
   std::uint64_t seed_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t stat_discounted_ = 0;
   bool stop_requested_ = false;
   util::Rng root_rng_;
 

@@ -30,30 +30,46 @@ std::string sparkline(const std::vector<double>& values, int max_width) {
   static constexpr char kRamp[] = " .:-=+*#%@";
   static constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 1;
 
-  // Bucket-max downsample to at most max_width cells.
+  // Bucket-max downsample to at most max_width cells. Non-finite samples
+  // (NaN/inf windows from a 0/0 rate) are treated as missing: they never
+  // poison a bucket's max, and a bucket with no finite sample renders as a
+  // gap instead of feeding NaN into the scaling arithmetic.
   const std::size_t n = values.size();
   const std::size_t width =
       std::min(n, static_cast<std::size_t>(max_width));
   std::vector<double> cells(width);
+  std::vector<bool> has_data(width, false);
   for (std::size_t c = 0; c < width; ++c) {
     const std::size_t begin = c * n / width;
     const std::size_t end = std::max(begin + 1, (c + 1) * n / width);
-    double peak = values[begin];
-    for (std::size_t i = begin + 1; i < end; ++i) {
-      peak = std::max(peak, values[i]);
+    double peak = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!std::isfinite(values[i])) continue;
+      peak = has_data[c] ? std::max(peak, values[i]) : values[i];
+      has_data[c] = true;
     }
     cells[c] = peak;
   }
 
-  double lo = cells[0];
-  double hi = cells[0];
-  for (double v : cells) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
+  bool any_data = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t c = 0; c < width; ++c) {
+    if (!has_data[c]) continue;
+    lo = any_data ? std::min(lo, cells[c]) : cells[c];
+    hi = any_data ? std::max(hi, cells[c]) : cells[c];
+    any_data = true;
   }
+  if (!any_data) return "(no data)";
+
   std::string out;
   out.reserve(width);
-  for (double v : cells) {
+  for (std::size_t c = 0; c < width; ++c) {
+    if (!has_data[c]) {
+      out += ' ';
+      continue;
+    }
+    const double v = cells[c];
     int level = 0;
     if (hi > lo) {
       level = static_cast<int>((v - lo) / (hi - lo) * (kLevels - 1) + 0.5);

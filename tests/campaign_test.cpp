@@ -212,7 +212,8 @@ TEST(CampaignTest, CsvShapeIsStable) {
             "events_forwarded,wire_bytes,refused,completed,sim_events,"
             "peak_queue_depth,cb_heap_allocs,handle_allocs,faults,"
             "downtime_ms,ttr_ms,lost_in_window,lost_post_window,late,"
-            "reconnects,resubscribes,reregistrations");
+            "reconnects,resubscribes,reregistrations,slo_pass,"
+            "slo_worst_burn,peak_model_bytes");
   EXPECT_NE(csv.find("test/narada/60,1,"), std::string::npos);
 }
 

@@ -38,8 +38,8 @@ std::string campaign_csv(const char* prefix, int jobs) {
 // Golden hashes recorded from the jobs=1 run at the settings above. If a
 // code change moves these, every chaos metric moved with it — rerecord only
 // when the shift is understood and intended.
-constexpr std::uint64_t kGoldenBrokerCrash = 10786335424627076284ULL;
-constexpr std::uint64_t kGoldenServletRestart = 7766641848355086948ULL;
+constexpr std::uint64_t kGoldenBrokerCrash = 3670788410112251198ULL;
+constexpr std::uint64_t kGoldenServletRestart = 4971368107008813412ULL;
 
 TEST(ChaosDeterminism, BrokerCrashByteIdenticalAcrossJobs) {
   const std::string serial = campaign_csv("chaos/narada/broker_crash", 1);

@@ -1,0 +1,169 @@
+// Memory-footprint accounting: MemProfile arithmetic, hook routing through
+// the scoped thread-local, middleware counting (R-GMA tuple stores), and
+// the end-to-end invariants — mem gauges ride the Timeline, Results carry
+// a peak summary, and profiling never perturbs the model.
+#include "obs/memprof.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "rgma/storage.hpp"
+
+namespace gridmon::obs {
+namespace {
+
+TEST(MemProfile, TracksLiveAndPeakPerCategory) {
+  MemProfile profile;
+  profile.add(MemCategory::kBrokerRouting, 100);
+  profile.add(MemCategory::kBrokerRouting, 50);
+  profile.sub(MemCategory::kBrokerRouting, 120);
+  EXPECT_EQ(profile.live(MemCategory::kBrokerRouting), 30);
+  EXPECT_EQ(profile.peak(MemCategory::kBrokerRouting), 150);
+
+  profile.set(MemCategory::kKernelSlab, 4096);
+  profile.set(MemCategory::kKernelSlab, 1024);
+  EXPECT_EQ(profile.live(MemCategory::kKernelSlab), 1024);
+  EXPECT_EQ(profile.peak(MemCategory::kKernelSlab), 4096);
+}
+
+TEST(MemProfile, PeakTotalIsPeakOfSumNotSumOfPeaks) {
+  MemProfile profile;
+  profile.add(MemCategory::kClientRecords, 100);
+  profile.sub(MemCategory::kClientRecords, 100);
+  profile.add(MemCategory::kRgmaTuples, 60);
+  // Per-category peaks are 100 and 60, but they never coexisted.
+  EXPECT_EQ(profile.peak(MemCategory::kClientRecords), 100);
+  EXPECT_EQ(profile.peak(MemCategory::kRgmaTuples), 60);
+  EXPECT_EQ(profile.peak_total(), 100);
+  EXPECT_EQ(profile.live_total(), 60);
+
+  const MemSummary summary = profile.summary();
+  EXPECT_TRUE(summary.enabled);
+  EXPECT_EQ(summary.peak_at(MemCategory::kClientRecords), 100);
+  EXPECT_EQ(summary.peak_total, 100);
+}
+
+TEST(MemProfile, HooksAreNoOpsWithoutInstalledProfile) {
+  EXPECT_EQ(memprof(), nullptr);
+  mem_add(MemCategory::kNetConnections, 1 << 20);  // must not crash
+  MemProfile profile;
+  {
+    ScopedMemProfile scoped(&profile);
+    EXPECT_EQ(memprof(), &profile);
+    mem_add(MemCategory::kNetConnections, 64);
+  }
+  EXPECT_EQ(memprof(), nullptr);
+  EXPECT_EQ(profile.live(MemCategory::kNetConnections), 64);
+}
+
+TEST(MemProfile, TupleStoreCountsInsertAndPrune) {
+  MemProfile profile;
+  ScopedMemProfile scoped(&profile);
+  std::int64_t peak_bytes = 0;
+  {
+    rgma::TupleStore store;
+    rgma::Tuple tuple;
+    tuple.values = {rgma::SqlValue{std::int64_t{42}}, rgma::SqlValue{3.14}};
+    store.insert(tuple, /*now=*/0);
+    store.insert(tuple, /*now=*/units::seconds(10));
+    EXPECT_GT(store.stored_bytes(), 0);
+    EXPECT_EQ(profile.live(MemCategory::kRgmaTuples), store.stored_bytes());
+    peak_bytes = store.stored_bytes();
+
+    // Prune past the first tuple's history retention (60 s default):
+    // accounting follows the retention window down.
+    const std::int64_t freed = store.prune(units::seconds(65));
+    EXPECT_GT(freed, 0);
+    EXPECT_EQ(profile.live(MemCategory::kRgmaTuples), store.stored_bytes());
+    EXPECT_LT(store.stored_bytes(), peak_bytes);
+  }
+  // Store destruction releases the remainder.
+  EXPECT_EQ(profile.live(MemCategory::kRgmaTuples), 0);
+  EXPECT_EQ(profile.peak(MemCategory::kRgmaTuples), peak_bytes);
+}
+
+}  // namespace
+}  // namespace gridmon::obs
+
+namespace gridmon::core {
+namespace {
+
+NaradaConfig workload() {
+  NaradaConfig config;
+  config.generators = 60;
+  config.duration = units::minutes(1);
+  config.seed = 7;
+  return config;
+}
+
+TEST(MemProfExperiment, SummaryAndGaugesPopulate) {
+  NaradaConfig config = workload();
+  config.obs.enabled = true;
+  config.obs.span_sample_every = 0;
+  const Results results = run_narada_experiment(config);
+
+  ASSERT_TRUE(results.mem.enabled);
+  EXPECT_GT(results.mem.peak_at(obs::MemCategory::kClientRecords), 0);
+  EXPECT_GT(results.mem.peak_at(obs::MemCategory::kNetConnections), 0);
+  EXPECT_GT(results.mem.peak_at(obs::MemCategory::kBrokerRouting), 0);
+  EXPECT_GT(results.mem.peak_at(obs::MemCategory::kKernelSlab), 0);
+  EXPECT_GE(results.mem.peak_total,
+            results.mem.peak_at(obs::MemCategory::kClientRecords));
+
+  // The mem gauges append after the classic columns.
+  ASSERT_TRUE(results.obs != nullptr);
+  const auto& columns = results.obs->columns;
+  EXPECT_NE(std::find(columns.begin(), columns.end(), "mem_client_records"),
+            columns.end());
+  EXPECT_NE(std::find(columns.begin(), columns.end(), "mem_total"),
+            columns.end());
+}
+
+TEST(MemProfExperiment, OptOutLeavesSummaryEmpty) {
+  NaradaConfig config = workload();
+  config.obs.enabled = true;
+  config.obs.span_sample_every = 0;
+  config.obs.memprof = false;
+  const Results results = run_narada_experiment(config);
+  EXPECT_FALSE(results.mem.enabled);
+  EXPECT_EQ(results.mem.peak_total, 0);
+  ASSERT_TRUE(results.obs != nullptr);
+  const auto& columns = results.obs->columns;
+  EXPECT_EQ(std::find(columns.begin(), columns.end(), "mem_total"),
+            columns.end());
+}
+
+TEST(MemProfExperiment, ProfilingDoesNotPerturbTheModel) {
+  const Results off = run_narada_experiment(workload());
+
+  NaradaConfig with = workload();
+  with.obs.enabled = true;
+  with.obs.span_sample_every = 0;
+  const Results on = run_narada_experiment(with);
+
+  // Bit-identical metrics and kernel event counts (the sampler's own timer
+  // firings are discounted from the stats).
+  EXPECT_EQ(off.metrics.sent(), on.metrics.sent());
+  EXPECT_EQ(off.metrics.received(), on.metrics.received());
+  EXPECT_EQ(off.metrics.rtt_mean_ms(), on.metrics.rtt_mean_ms());
+  EXPECT_EQ(off.kernel.events_executed, on.kernel.events_executed);
+}
+
+TEST(MemProfExperiment, RgmaRunsCountTupleStores) {
+  RgmaConfig config;
+  config.producers = 40;
+  config.duration = units::minutes(1);
+  config.seed = 3;
+  config.obs.enabled = true;
+  config.obs.span_sample_every = 0;
+  const Results results = run_rgma_experiment(config);
+  ASSERT_TRUE(results.mem.enabled);
+  EXPECT_GT(results.mem.peak_at(obs::MemCategory::kRgmaTuples), 0);
+  EXPECT_GT(results.mem.peak_at(obs::MemCategory::kKernelSlab), 0);
+}
+
+}  // namespace
+}  // namespace gridmon::core

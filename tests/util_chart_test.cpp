@@ -1,9 +1,59 @@
 #include "util/chart.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace gridmon::util {
 namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(Sparkline, EmptySeriesRendersPlaceholder) {
+  EXPECT_EQ(sparkline({}), "(no data)");
+  EXPECT_EQ(sparkline({1.0, 2.0}, 0), "(no data)");
+}
+
+TEST(Sparkline, SingleSampleRendersOneCell) {
+  const std::string out = sparkline({4.2});
+  EXPECT_EQ(out.size(), 1u);
+  // A lone positive value sits at the top of the (degenerate) range.
+  EXPECT_EQ(out, "@");
+}
+
+TEST(Sparkline, AllEqualValuesRenderFlat) {
+  // Zero range, positive level: every cell at the top glyph.
+  EXPECT_EQ(sparkline({5.0, 5.0, 5.0}), "@@@");
+  // All-zero series: every cell at the bottom glyph.
+  EXPECT_EQ(sparkline({0.0, 0.0, 0.0}), "   ");
+}
+
+TEST(Sparkline, NanWindowsRenderAsGaps) {
+  // A 0/0 loss window produces NaN; it must not poison neighbours.
+  const std::string out = sparkline({0.0, kNaN, 10.0, kNaN, 0.0});
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[1], ' ');
+  EXPECT_EQ(out[3], ' ');
+  EXPECT_EQ(out[2], '@');  // the finite peak still scales to the top
+}
+
+TEST(Sparkline, AllNanRendersPlaceholder) {
+  EXPECT_EQ(sparkline({kNaN, kNaN, kNaN}), "(no data)");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(sparkline({inf, -inf}), "(no data)");
+}
+
+TEST(Sparkline, DownsamplingKeepsSpikes) {
+  // 144 samples into 72 cells: a single-sample spike must survive the
+  // bucket-max compression, and a NaN sharing its bucket must not eat it.
+  std::vector<double> values(144, 1.0);
+  values[100] = 50.0;
+  values[101] = kNaN;
+  const std::string out = sparkline(values, 72);
+  ASSERT_EQ(out.size(), 72u);
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
 
 TEST(AsciiChart, EmptyChartRendersPlaceholder) {
   AsciiChart chart;
