@@ -28,6 +28,10 @@ const char* kScenarios[] = {
     "chaos/rgma/registry_outage/400_norecovery",
     "chaos/rgma/servlet_restart",
     "chaos/rgma/servlet_restart_norecovery",
+    "chaos/mqtt/broker_crash/800",
+    "chaos/mqtt/broker_crash/800_norecovery",
+    "chaos/mqtt/flapping_link/800",
+    "chaos/mqtt/flapping_link/800_qos0",
 };
 
 }  // namespace

@@ -1,0 +1,81 @@
+// MQTT QoS-tier comparison: the modern baseline next to the paper's two
+// 2007 systems.
+//
+// Two questions the paper could not ask in 2007: (1) what do the MQTT
+// delivery tiers (QoS 0 fire-and-forget, QoS 1 at-least-once, QoS 2
+// exactly-once) cost in latency and wire traffic at the paper's
+// 800-connection comparison point, and (2) how far past Narada's
+// ~4000-thread OOM wall does a single-process event-loop broker scale?
+// This bench runs the mqtt/* family beside narada/single and rgma/single
+// at the shared scaling points and prints one table per question.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gridmon;
+
+const char* kQosTier[] = {
+    "mqtt/qos0/800",
+    "mqtt/qos1/800",
+    "mqtt/qos2/800",
+    "narada/single/800",
+    "rgma/single/800",
+};
+
+const char* kScaling[] = {
+    "mqtt/single/800",  "mqtt/single/2000",  "mqtt/single/4000",
+    "narada/single/800", "narada/single/2000", "narada/single/4000",
+};
+
+void print_rows(const char* const* ids, std::size_t count,
+                bench::Sweep& sweep) {
+  util::TextTable table({"scenario", "loss (%)", "RTT (ms)", "PT (ms)",
+                         "wire (MB)", "CPU idle (%)", "mem (MB)", "refused"});
+  for (std::size_t i = 0; i < count; ++i) {
+    const char* id = ids[i];
+    const auto pooled = sweep.pooled(id);
+    // Phase decompositions are per-run means; take the first seed.
+    const auto& first = sweep.first(id);
+    table.add_row(
+        {id, util::TextTable::format(pooled.metrics.loss_rate() * 100.0, 4),
+         util::TextTable::format(pooled.metrics.rtt_mean_ms(), 3),
+         util::TextTable::format(first.metrics.pt_ms().mean(), 3),
+         util::TextTable::format(static_cast<double>(pooled.wire_bytes) /
+                                     units::MiB / bench::bench_seeds(),
+                                 1),
+         util::TextTable::format(pooled.servers.cpu_idle_pct, 1),
+         std::to_string(pooled.servers.memory_bytes / units::MiB),
+         std::to_string(pooled.refused)});
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Sweep sweep;
+  for (const char* id : kQosTier) sweep.add(id);
+  for (const char* id : kScaling) sweep.add(id);
+  sweep.run_and_register();
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::print_figure_header(
+      "MQTT QoS tiers",
+      "delivery-guarantee cost at the paper's 800-connection point");
+  print_rows(kQosTier, std::size(kQosTier), sweep);
+
+  bench::print_figure_header(
+      "MQTT scaling", "event-loop broker vs thread-per-connection wall");
+  print_rows(kScaling, std::size(kScaling), sweep);
+
+  std::printf(
+      "Expectation: QoS 1 adds the PUBACK round and QoS 2 doubles it "
+      "(PUBREC/\nPUBREL/PUBCOMP), visible in wire bytes at near-identical "
+      "RTT on an idle\nLAN; the event-loop broker admits 4000 sessions on "
+      "heap alone while the\nthreaded Narada broker hits its OOM wall "
+      "(refused > 0) at the same point.\n");
+  return 0;
+}

@@ -26,7 +26,7 @@ using namespace gridmon;
 
 core::NaradaConfig workload() {
   core::NaradaConfig config;
-  config.generators = 400;
+  config.fleet.generators = 400;
   config.duration = units::minutes(bench::bench_minutes());
   config.seed = 1;
   return config;

@@ -1,8 +1,9 @@
 // gridmon_cli: run any experiment from the command line.
 //
-//   gridmon_cli list [prefix]
+//   gridmon_cli list [prefix] [--system NAME]
 //       Print every scenario id in the built-in registry (optionally
-//       filtered by id prefix) with its description.
+//       filtered by id prefix and/or backend name: narada, rgma, mqtt,
+//       custom) with its description.
 //
 //   gridmon_cli run <id|prefix>... [--seeds N] [--jobs N]
 //               [--minutes M | --quick] [--csv|--json]
@@ -62,7 +63,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s list [prefix]\n"
+      "usage: %s list [prefix] [--system NAME]\n"
       "       %s run <id|prefix>... [--seeds N] [--jobs N]\n"
       "           [--minutes M | --quick] [--csv|--json] [--slo]\n"
       "           [--trace-out DIR] [--series-out DIR]\n"
@@ -243,7 +244,8 @@ bool spec_has_faults(const core::ScenarioSpec& spec) {
       [](const auto& config) {
         using T = std::decay_t<decltype(config)>;
         if constexpr (std::is_same_v<T, core::NaradaConfig> ||
-                      std::is_same_v<T, core::RgmaConfig>) {
+                      std::is_same_v<T, core::RgmaConfig> ||
+                      std::is_same_v<T, core::MqttConfig>) {
           return !config.faults.events.empty();
         } else {
           return false;
@@ -253,17 +255,33 @@ bool spec_has_faults(const core::ScenarioSpec& spec) {
 }
 
 int cmd_list(int argc, char** argv) {
-  const std::string prefix = argc > 2 ? argv[2] : "";
+  std::string prefix;
+  std::string system;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--system") {
+      if (i + 1 >= argc) usage(argv[0]);
+      system = argv[++i];
+    } else {
+      prefix = arg;
+    }
+  }
   const auto& registry = core::builtin_registry();
   util::TextTable table({"id", "system", "description"});
   int shown = 0;
   for (const auto& spec : registry.all()) {
     if (!prefix.empty() && spec.id.rfind(prefix, 0) != 0) continue;
+    if (!system.empty() && system != spec.system()) continue;
     table.add_row({spec.id, spec.system(), spec.description});
     ++shown;
   }
   if (shown == 0) {
-    std::fprintf(stderr, "no scenario id starts with '%s'\n", prefix.c_str());
+    if (!system.empty()) {
+      std::fprintf(stderr, "no scenario matches prefix '%s' with system '%s'\n",
+                   prefix.c_str(), system.c_str());
+    } else {
+      std::fprintf(stderr, "no scenario id starts with '%s'\n", prefix.c_str());
+    }
     return 1;
   }
   std::printf("%s%d scenario(s)\n", table.render().c_str(), shown);
@@ -623,12 +641,12 @@ int main(int argc, char** argv) {
 
   if (system == "narada") {
     core::NaradaConfig config;
-    config.generators = args.connections;
+    config.fleet.generators = args.connections;
     config.duration = units::minutes(args.minutes);
     config.seed = args.seed;
     config.transport = args.transport;
     config.ack_mode = args.ack;
-    config.pad_bytes = args.pad;
+    config.fleet.pad_bytes = args.pad;
     config.subscription_aware_routing = args.routing_fix;
     if (args.persistent) {
       config.delivery_mode = jms::DeliveryMode::kPersistent;
@@ -644,7 +662,7 @@ int main(int argc, char** argv) {
   }
   if (system == "rgma") {
     core::RgmaConfig config;
-    config.producers = args.connections;
+    config.fleet.generators = args.connections;
     config.duration = units::minutes(args.minutes);
     config.seed = args.seed;
     config.distributed = args.distributed;
@@ -653,8 +671,8 @@ int main(int argc, char** argv) {
     config.secure = args.secure;
     config.legacy_stream_api = args.legacy;
     if (args.no_warmup) {
-      config.warmup_min = 0;
-      config.warmup_max = 0;
+      config.fleet.warmup_min = 0;
+      config.fleet.warmup_max = 0;
     }
     const std::string label = std::string("rgma/") +
                               (args.distributed ? "distributed" : "single") +

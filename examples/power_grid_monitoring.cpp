@@ -19,14 +19,14 @@ int main(int argc, char** argv) {
   const int minutes = argc > 2 ? std::atoi(argv[2]) : 5;
 
   core::NaradaConfig config;
-  config.generators = generators;
+  config.fleet.generators = generators;
   config.duration = units::minutes(minutes);
   std::printf(
       "simulating %d power generators publishing every %lld s for %d min "
       "through one\nNaradaBrokering-style broker on the Hydra testbed "
       "model...\n\n",
       generators,
-      static_cast<long long>(config.publish_period / units::seconds(1)),
+      static_cast<long long>(config.fleet.publish_period / units::seconds(1)),
       minutes);
 
   const core::Results results = core::run_narada_experiment(config);

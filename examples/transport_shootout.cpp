@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const char* best = "";
   for (const Variant& variant : variants) {
     core::NaradaConfig config;
-    config.generators = generators;
+    config.fleet.generators = generators;
     config.duration = units::minutes(minutes);
     config.transport = variant.transport;
     config.ack_mode = variant.ack;

@@ -157,6 +157,36 @@ constexpr SimTime kSecondaryProducerDelay = seconds(30);
 constexpr double kTlsPerByteNs = 160.0;
 constexpr SimTime kTlsPerRequest = microseconds(420);
 
+// --- MQTT (modern edge broker, modelled on the same testbed) ----------------
+
+/// Broker CPU per control packet: parse the binary fixed header + dispatch.
+/// MQTT's framing is far lighter than JMS object streams — this is the
+/// tier the IoT edge-broker studies measure brokers in.
+constexpr SimTime kMqttPacketBase = microseconds(140);
+
+/// Extra broker CPU per subscriber a publish fans out to (topic-filter
+/// walk + per-session enqueue).
+constexpr SimTime kMqttFanoutCost = microseconds(25);
+
+/// Per-session footprint on the broker (socket buffers + session state in
+/// an epoll-style event loop — no thread per connection, so MQTT's
+/// admission wall sits far beyond Narada's ~4000-thread OOM).
+constexpr std::int64_t kMqttSessionBytes = 16 * KiB;
+
+/// Event-loop service-time inflation per live session (timer wheel +
+/// session table pressure); much gentler than a thread-per-connection JVM.
+constexpr double kMqttSessionLoadFactor = 0.00004;
+
+/// Client-library costs: assemble/deliver a binary packet (an embedded C
+/// client, not a JVM).
+constexpr SimTime kMqttClientSendBase = microseconds(40);
+constexpr SimTime kMqttClientReceiveBase = microseconds(35);
+
+/// Compact binary sample an edge device publishes (timestamp + a few
+/// fixed-point channel readings), vs the ~430 B JMS MapMessage / ~540 B
+/// SQL INSERT the 2007 systems ship for the same reading.
+constexpr std::int64_t kMqttSampleBytes = 48;
+
 /// Persistent JMS delivery: the broker forces each event to stable storage
 /// before forwarding (the paper ran non-persistent; the ablation shows the
 /// price of the alternative). Disk on the testbed: ~6 ms access + stream.

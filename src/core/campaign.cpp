@@ -155,6 +155,7 @@ void append_row(std::string& out, const RunRecord& run, bool json,
     std::snprintf(buffer, sizeof(buffer), ", \"peak_model_bytes\": %lld",
                   static_cast<long long>(mem.peak_total));
     out += buffer;
+    out += ", \"system\": \"" + run.system + "\"";
     if (mem.enabled) {
       out += ", \"mem_peak_bytes\": {";
       for (std::size_t c = 0; c < obs::kMemCategoryCount; ++c) {
@@ -213,6 +214,9 @@ void append_row(std::string& out, const RunRecord& run, bool json,
                   !slo.evaluated ? -1 : (slo.pass ? 1 : 0), slo.worst_burn,
                   static_cast<long long>(run.results.mem.peak_total));
     out += buffer;
+    // Backend name (schema v2); appended last like every column addition.
+    out += ',';
+    out += run.system;
   }
 }
 
@@ -225,7 +229,7 @@ std::string Campaign::csv() const {
       "events_forwarded,wire_bytes,refused,completed,sim_events,"
       "peak_queue_depth,cb_heap_allocs,handle_allocs,faults,downtime_ms,"
       "ttr_ms,lost_in_window,lost_post_window,late,reconnects,resubscribes,"
-      "reregistrations,slo_pass,slo_worst_burn,peak_model_bytes\n";
+      "reregistrations,slo_pass,slo_worst_burn,peak_model_bytes,system\n";
   for (const auto& run : runs_) {
     append_row(out, run, /*json=*/false);
     out += '\n';
@@ -305,7 +309,8 @@ Campaign CampaignRunner::run() {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - begin;
       auto& slot = records[static_cast<std::size_t>(i)];
-      slot = RunRecord{spec.id, seed, std::move(results), elapsed.count()};
+      slot = RunRecord{spec.id, seed, spec.system(), std::move(results),
+                       elapsed.count()};
       if (options_.progress) {
         std::lock_guard lock(progress_mutex);
         options_.progress(++done, total, slot);

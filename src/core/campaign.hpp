@@ -23,12 +23,18 @@ namespace gridmon::core {
 /// renamed/removed or its meaning changes (additions are compatible);
 /// `gridmon_cli diff` refuses to compare documents with mismatched
 /// versions.
-inline constexpr int kCampaignSchemaVersion = 1;
+///   v2: every run carries its backend name (`system` CSV column / JSON
+///       key) so three-backend campaigns can be sliced without parsing
+///       scenario ids.
+inline constexpr int kCampaignSchemaVersion = 2;
 
 /// One completed (scenario, seed) run.
 struct RunRecord {
   std::string scenario_id;
   std::uint64_t seed = 0;
+  /// Backend name from ScenarioSpec::system() ("narada", "rgma", "mqtt",
+  /// or a custom scenario's own tag).
+  std::string system;
   Results results;
   /// Host wall-clock seconds for this run. Excluded from csv()/json(): it
   /// is the only nondeterministic field.

@@ -21,7 +21,7 @@ void register_chaos_scenarios(ScenarioRegistry& reg) {
   {
     NaradaConfig config = scenarios::narada_single(800);
     config.faults.broker_crash(units::seconds(15), 0, units::seconds(10));
-    config.recovery = true;
+    config.fleet.recovery = true;
     // The SLO both twins are judged against: recovery holds it (TTR is
     // bounded by the dwell + reconnect backoff), the no-recovery baseline
     // violates it (TTR pins at the horizon) — the CI-gate fixture for
@@ -34,7 +34,7 @@ void register_chaos_scenarios(ScenarioRegistry& reg) {
              "Chaos: single broker crashes 15 s into steady state (10 s "
              "dwell); clients reconnect + resubscribe",
              config, slo});
-    config.recovery = false;
+    config.fleet.recovery = false;
     reg.add({"chaos/narada/broker_crash/800_norecovery",
              "Chaos baseline: same broker crash, no client recovery (all "
              "post-crash traffic lost)",
@@ -47,7 +47,7 @@ void register_chaos_scenarios(ScenarioRegistry& reg) {
   {
     NaradaConfig config = scenarios::narada_dbn(800);
     config.faults.dbn_partition(units::seconds(15), units::seconds(10));
-    config.recovery = true;
+    config.fleet.recovery = true;
     obs::SloSpec slo;
     slo.max_loss_pct(40.0)
         .max_loss_pct(2.0, obs::SloScope::kSteady)
@@ -90,6 +90,63 @@ void register_chaos_scenarios(ScenarioRegistry& reg) {
              config, slo});
   }
 
+  // --- MQTT -----------------------------------------------------------------
+
+  // Flapping monitoring uplink: the subscriber host's NIC drops off the
+  // LAN in three 8 s bursts (a yanked cable — the TCP connection itself
+  // survives, in-flight frames vanish). At QoS 1 every in-window delivery
+  // sits in the broker's in-flight window until PUBACKed, so the DUP
+  // retransmission sweep redelivers it after the flap — holding the
+  // paper's 0.5 % loss requirement. The QoS 0 twin streams through the
+  // same flaps fire-and-forget and eats the in-window loss; worse, its
+  // only upstream traffic is the 30 s PINGREQ, so one ping eaten by a
+  // flap blows the broker's 1.5x keep-alive grace and the session is
+  // expired — recovery (reconnect + resubscribe) is what puts the
+  // subscriber back on the air at all.
+  {
+    MqttConfig config = scenarios::mqtt_single(800, /*qos=*/1);
+    config.fleet.recovery = true;
+    // Host 1 is the subscriber host (first non-broker host; see
+    // run_mqtt_experiment).
+    config.faults.nic_down(units::seconds(15), 1, units::seconds(8))
+        .nic_down(units::seconds(45), 1, units::seconds(8))
+        .nic_down(units::seconds(75), 1, units::seconds(8));
+    obs::SloSpec slo;
+    slo.max_loss_pct(0.5).max_ttr_ms(20000.0);
+    reg.add({"chaos/mqtt/flapping_link/800",
+             "Chaos: subscriber uplink flaps 3x8 s; QoS 1 broker "
+             "retransmissions hold the 0.5% loss bound",
+             config, slo});
+    config.qos = 0;
+    reg.add({"chaos/mqtt/flapping_link/800_qos0",
+             "Chaos baseline: same uplink flaps at QoS 0 (fire-and-forget "
+             "eats the in-window loss)",
+             config, slo});
+  }
+
+  // Broker crash with persistent sessions: the process dies 15 s into
+  // steady state (all in-memory state lost) and restarts empty after 10 s.
+  // With recovery, clients reconnect under backoff, resubscribe (CONNACK
+  // says session_present=0), and redeliver their own in-flight QoS 1
+  // windows — the client-driven recovery story.
+  {
+    MqttConfig config = scenarios::mqtt_single(800, /*qos=*/1);
+    config.clean_session = false;
+    config.faults.broker_crash(units::seconds(15), 0, units::seconds(10));
+    config.fleet.recovery = true;
+    obs::SloSpec slo;
+    slo.max_loss_pct(50.0).max_ttr_ms(30000.0).min_availability_pct(55.0);
+    reg.add({"chaos/mqtt/broker_crash/800",
+             "Chaos: MQTT broker crashes 15 s into steady state (10 s "
+             "dwell); clients reconnect, resubscribe, redeliver QoS 1",
+             config, slo});
+    config.fleet.recovery = false;
+    reg.add({"chaos/mqtt/broker_crash/800_norecovery",
+             "Chaos baseline: same broker crash, no client recovery (all "
+             "post-crash traffic lost)",
+             config, slo});
+  }
+
   // --- R-GMA ----------------------------------------------------------------
 
   // Registry outage during the creation ramp (anchored at run start: the
@@ -102,7 +159,7 @@ void register_chaos_scenarios(ScenarioRegistry& reg) {
     config.faults.registry_restart(units::seconds(60), units::seconds(120),
                                    FaultAnchor::kRunStart);
     config.registry_ttl = units::seconds(60);
-    config.recovery = true;
+    config.fleet.recovery = true;
     // GMA separates data path from directory: deliveries continue through
     // the outage, so the discriminating bound is whole-run loss (producers
     // that never mediate publish into the void).
@@ -112,7 +169,7 @@ void register_chaos_scenarios(ScenarioRegistry& reg) {
              "Chaos: registry container down 60-180 s into the ramp (state "
              "wiped, TTL 60 s); renewals re-register",
              config, slo});
-    config.recovery = false;
+    config.fleet.recovery = false;
     reg.add({"chaos/rgma/registry_outage/400_norecovery",
              "Chaos baseline: same registry outage, no renewals (producers "
              "created in or after the outage never mediate)",
@@ -129,7 +186,7 @@ void register_chaos_scenarios(ScenarioRegistry& reg) {
         .producer_servlet_restart(units::seconds(15), 0, units::seconds(10))
         .consumer_servlet_restart(units::seconds(45), 0, units::seconds(10));
     config.registry_ttl = units::seconds(60);
-    config.recovery = true;
+    config.fleet.recovery = true;
     // Calibrated for runs of >= 5 virtual minutes: recovery re-creates the
     // query within ~10 s of the consumer window (TTR burn 0.23) while the
     // baseline's TTR clamps at the horizon (burn ~7, loss > 50%). At
@@ -141,7 +198,7 @@ void register_chaos_scenarios(ScenarioRegistry& reg) {
              "Chaos: producer then consumer servlet containers restart (10 s "
              "outages); clients re-declare / re-create",
              config, slo});
-    config.recovery = false;
+    config.fleet.recovery = false;
     reg.add({"chaos/rgma/servlet_restart_norecovery",
              "Chaos baseline: same servlet restarts, no client recovery "
              "(producers and the query stay dead)",

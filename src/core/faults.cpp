@@ -145,6 +145,13 @@ FaultPlan FaultPlan::parse(std::string_view text) {
   return plan;
 }
 
+bool in_fault_window(const std::vector<FaultWindow>& windows, SimTime now) {
+  for (const FaultWindow& window : windows) {
+    if (now >= window.begin && now < window.end) return true;
+  }
+  return false;
+}
+
 // --- FaultInjector -----------------------------------------------------------
 
 FaultInjector::FaultInjector(sim::Simulation& sim, FaultPlan plan,

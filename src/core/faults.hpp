@@ -104,6 +104,12 @@ struct FaultPlan {
   [[nodiscard]] static FaultPlan parse(std::string_view text);
 };
 
+/// True when `now` falls inside any of the (sorted, absolute) windows.
+/// The harnesses use this to classify refusals: one that lands inside an
+/// outage window is the fault schedule at work, not resource exhaustion.
+[[nodiscard]] bool in_fault_window(const std::vector<FaultWindow>& windows,
+                                   SimTime now);
+
 /// Hook slots the experiment wires to its topology. Unset slots make the
 /// corresponding fault kinds no-ops (an R-GMA run ignores broker crashes).
 struct FaultHooks {

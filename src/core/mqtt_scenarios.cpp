@@ -1,0 +1,86 @@
+// The mqtt/* scenario family: the modern pub/sub baseline next to the
+// paper's two 2007 systems.
+//
+// The broker is a single-process event loop whose admission cost is heap
+// per session, not a thread per connection — so the sweep walks straight
+// through the connection counts where NaradaBrokering hit its ~4000-thread
+// OOM wall. The family covers the scaling sweep, a QoS 0/1/2 ablation
+// triple, PMU-class 20 ms sampling, edge-gateway fan-in batching, and a
+// mixed-QoS fleet; the chaos twins live with the rest of the chaos/*
+// family (chaos_scenarios.cpp).
+#include <string>
+
+#include "core/registry.hpp"
+#include "core/scenarios.hpp"
+
+namespace gridmon::core {
+
+namespace scenarios {
+
+MqttConfig mqtt_single(int connections, int qos, std::uint64_t seed) {
+  MqttConfig config;
+  config.fleet.generators = connections;
+  config.qos = qos;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace scenarios
+
+void register_mqtt_scenarios(ScenarioRegistry& reg) {
+  // Scaling sweep at QoS 0 — the axis shared with narada/single and
+  // rgma/single. 4000 is the point where the threaded broker fell over.
+  for (int n : {400, 800, 2000, 4000}) {
+    reg.add({"mqtt/single/" + std::to_string(n),
+             "MQTT baseline: single broker, " + std::to_string(n) +
+                 " QoS 0 publishers, one '#' subscriber",
+             scenarios::mqtt_single(n)});
+  }
+
+  // QoS tier ablation at the paper's 800-connection comparison point:
+  // what at-least-once and exactly-once cost in RTT and wire traffic.
+  for (int q : {0, 1, 2}) {
+    reg.add({"mqtt/qos" + std::to_string(q) + "/800",
+             "Ablation: 800 publishers at QoS " + std::to_string(q) +
+                 (q == 0 ? " (fire-and-forget)"
+                         : q == 1 ? " (PUBACK, at-least-once)"
+                                  : " (PUBREC/PUBREL/PUBCOMP, exactly-once)"),
+             scenarios::mqtt_single(800, q)});
+  }
+
+  // PMU-class high-rate sampling: 20 ms periods, a 500x faster cadence
+  // than the paper's 10 s SCADA scans (phasor measurement framing).
+  {
+    MqttConfig config = scenarios::mqtt_single(100);
+    config.fleet.publish_period = units::milliseconds(20);
+    reg.add({"mqtt/highrate/100",
+             "High-rate sampling: 100 publishers at 20 ms period (PMU-class "
+             "cadence, QoS 0)",
+             config});
+  }
+
+  // Edge-gateway fan-in: 40 gateways each fronting 20 sensors, publishing
+  // one aggregated sample block per period — the same 800-sensor coverage
+  // as mqtt/single/800 at 1/20th the packet rate.
+  {
+    MqttConfig config = scenarios::mqtt_single(40, 1);
+    config.gateway_batch = 20;
+    reg.add({"mqtt/gateway/40x20",
+             "Edge gateways: 40 clients x 20 aggregated sensors each "
+             "(800-sensor coverage, QoS 1)",
+             config});
+  }
+
+  // Mixed-QoS fleet: generator g publishes at QoS g % 3 — one broker
+  // serving all three service tiers at once (subscriber granted QoS 2).
+  {
+    MqttConfig config = scenarios::mqtt_single(900);
+    config.mixed_qos = true;
+    reg.add({"mqtt/mixed/900",
+             "Mixed fleet: 900 publishers striped across QoS 0/1/2 on one "
+             "broker",
+             config});
+  }
+}
+
+}  // namespace gridmon::core

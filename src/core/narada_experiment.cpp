@@ -29,11 +29,14 @@ class Generator {
  public:
   Generator(cluster::Hydra& hydra, int host, net::Endpoint broker,
             const NaradaConfig& config, std::int64_t id, Metrics& metrics,
+            std::uint64_t& refused_in_faults, const FaultInjector*& injector,
             std::unordered_map<std::string, SentRecord>& in_flight)
       : hydra_(hydra),
         config_(config),
         id_(id),
         metrics_(metrics),
+        refused_in_faults_(refused_in_faults),
+        injector_(injector),
         in_flight_(in_flight),
         rng_(hydra.sim().rng_stream("generator").stream(
             static_cast<std::uint64_t>(id))) {
@@ -41,12 +44,12 @@ class Generator {
     client_ = narada::NaradaClient::create(
         hydra.host(host), hydra.lan(), hydra.streams(), broker,
         net::Endpoint{host, port}, config.transport);
-    if (config.recovery) {
+    if (config.fleet.recovery) {
       narada::ReconnectPolicy policy;
       policy.enabled = true;
-      policy.backoff_initial = config.reconnect_backoff;
-      policy.backoff_max = config.reconnect_backoff_max;
-      policy.jitter = config.reconnect_jitter;
+      policy.backoff_initial = config.fleet.backoff_initial;
+      policy.backoff_max = config.fleet.backoff_max;
+      policy.jitter = config.fleet.backoff_jitter;
       client_->set_reconnect_policy(policy);
     }
   }
@@ -55,13 +58,17 @@ class Generator {
     client_->connect([this](bool ok) {
       if (!ok) {
         metrics_.count_refused_connection();
+        if (injector_ != nullptr &&
+            in_fault_window(injector_->windows(), hydra_.sim().now())) {
+          ++refused_in_faults_;
+        }
         return;
       }
       const auto warmup = static_cast<SimTime>(rng_.uniform(
-          static_cast<double>(config_.warmup_min),
-          static_cast<double>(config_.warmup_max)));
-      remaining_ = config_.publish_period > 0
-                       ? config_.duration / config_.publish_period
+          static_cast<double>(config_.fleet.warmup_min),
+          static_cast<double>(config_.fleet.warmup_max)));
+      remaining_ = config_.fleet.publish_period > 0
+                       ? config_.duration / config_.fleet.publish_period
                        : 0;
       hydra_.sim().schedule_after(warmup, [this] { publish_next(); });
     });
@@ -81,7 +88,7 @@ class Generator {
     --remaining_;
     jms::Message msg = make_generator_message(kTopic, id_, sequence_++,
                                               client_->local().node, rng_,
-                                              config_.pad_bytes);
+                                              config_.fleet.pad_bytes);
     msg.delivery_mode = config_.delivery_mode;
     const SimTime before = hydra_.sim().now();
     const std::string key = "ID:" + std::to_string(client_->local().node) +
@@ -98,7 +105,7 @@ class Generator {
       if (it != in_flight_.end()) it->second.after_sending = after;
       obs::mark_message_at(key, "sent", after);
     });
-    hydra_.sim().schedule_after(config_.publish_period,
+    hydra_.sim().schedule_after(config_.fleet.publish_period,
                                 [this] { publish_next(); });
   }
 
@@ -106,6 +113,8 @@ class Generator {
   const NaradaConfig& config_;
   std::int64_t id_;
   Metrics& metrics_;
+  std::uint64_t& refused_in_faults_;
+  const FaultInjector*& injector_;
   std::unordered_map<std::string, SentRecord>& in_flight_;
   util::Rng rng_;
   std::shared_ptr<narada::NaradaClient> client_;
@@ -154,6 +163,8 @@ Results run_narada_experiment(const NaradaConfig& config) {
   Results results;
   results.metrics.set_deadline(units::seconds(5));
   std::unordered_map<std::string, SentRecord> in_flight;
+  std::uint64_t refused_in_faults = 0;
+  const FaultInjector* injector_ptr = nullptr;
   AvailabilityTracker tracker;
 
   // Observability: one recorder for the run, installed thread-locally so
@@ -214,11 +225,11 @@ Results run_narada_experiment(const NaradaConfig& config) {
     };
   };
   narada::ReconnectPolicy subscriber_policy;
-  if (config.recovery) {
+  if (config.fleet.recovery) {
     subscriber_policy.enabled = true;
-    subscriber_policy.backoff_initial = config.reconnect_backoff;
-    subscriber_policy.backoff_max = config.reconnect_backoff_max;
-    subscriber_policy.jitter = config.reconnect_jitter;
+    subscriber_policy.backoff_initial = config.fleet.backoff_initial;
+    subscriber_policy.backoff_max = config.fleet.backoff_max;
+    subscriber_policy.jitter = config.fleet.backoff_jitter;
   }
 
   if (multi_broker) {
@@ -231,7 +242,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
           hydra.host(host), hydra.lan(), hydra.streams(),
           dbn.assign_subscriber_broker(), net::Endpoint{host, port++},
           config.transport);
-      if (config.recovery) sub->set_reconnect_policy(subscriber_policy);
+      if (config.fleet.recovery) sub->set_reconnect_policy(subscriber_policy);
       sub->connect([sub, host, &make_listener](bool ok) {
         if (!ok) return;
         sub->subscribe("powergrid/monitoring",
@@ -246,7 +257,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
         hydra.host(subscriber_host), hydra.lan(), hydra.streams(),
         dbn.broker_endpoint(0), net::Endpoint{subscriber_host, 9000},
         config.transport);
-    if (config.recovery) sub->set_reconnect_policy(subscriber_policy);
+    if (config.fleet.recovery) sub->set_reconnect_policy(subscriber_policy);
     const auto ack = config.ack_mode;
     sub->connect([sub, ack, &make_listener](bool ok) {
       if (!ok) return;
@@ -264,16 +275,17 @@ Results run_narada_experiment(const NaradaConfig& config) {
 
   // Generator fleet, created on the paper's stagger.
   std::vector<std::unique_ptr<Generator>> fleet;
-  fleet.reserve(static_cast<std::size_t>(config.generators));
-  for (int g = 0; g < config.generators; ++g) {
+  fleet.reserve(static_cast<std::size_t>(config.fleet.generators));
+  for (int g = 0; g < config.fleet.generators; ++g) {
     const int host =
         generator_hosts[static_cast<std::size_t>(g) % generator_hosts.size()];
     const net::Endpoint broker =
         multi_broker ? dbn.assign_publisher_broker() : dbn.broker_endpoint(0);
     fleet.push_back(std::make_unique<Generator>(hydra, host, broker, config,
                                                 g, results.metrics,
-                                                in_flight));
-    hydra.sim().schedule_at(kStartTime + config.creation_interval * g,
+                                                refused_in_faults,
+                                                injector_ptr, in_flight));
+    hydra.sim().schedule_at(kStartTime + config.fleet.creation_interval * g,
                             [gen = fleet.back().get()] { gen->start(); });
   }
 
@@ -281,8 +293,8 @@ Results run_narada_experiment(const NaradaConfig& config) {
   // whole run — the connection ramp is what makes it grow with connection
   // count; CPU idle is averaged over the steady publishing window only.
   const SimTime steady_begin = kStartTime +
-                               config.creation_interval * config.generators +
-                               config.warmup_max;
+                               config.fleet.creation_interval * config.fleet.generators +
+                               config.fleet.warmup_max;
   const SimTime measure_end = steady_begin + config.duration;
 
   // Fault injection: hooks bridge FaultPlan events onto the LAN fabric and
@@ -319,6 +331,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
   hooks.restart_broker = [&dbn](int b) { dbn.broker(b).restart(); };
   FaultInjector injector(hydra.sim(), config.faults, hooks);
   injector.arm(steady_begin);
+  injector_ptr = &injector;
   tracker.set_windows(injector.windows());
   if (recorder) {
     // Chaos track: every planned event (instantaneous ones included, which
@@ -402,8 +415,12 @@ Results run_narada_experiment(const NaradaConfig& config) {
   results.servers.memory_bytes =
       mem_sum / static_cast<std::int64_t>(mem_samplers.size());
   results.events_forwarded = dbn.total_stats().events_forwarded;
+  for (int host : config.broker_hosts) {
+    results.wire_bytes += hydra.lan().bytes_to_node(host);
+  }
   results.refused = results.metrics.refused_connections();
-  results.completed = results.refused == 0;
+  results.refused_in_faults = refused_in_faults;
+  results.completed = !results.hit_oom_wall();
   results.kernel = hydra.sim().kernel_stats();
   if (memprof) {
     memprof->set(obs::MemCategory::kKernelSlab,

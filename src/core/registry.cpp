@@ -12,11 +12,20 @@ namespace gridmon::core {
 void register_ablation_scenarios(ScenarioRegistry& registry);
 // Defined in chaos_scenarios.cpp: the chaos/* fault-injection family.
 void register_chaos_scenarios(ScenarioRegistry& registry);
+// Defined in mqtt_scenarios.cpp: the mqtt/* modern-baseline family.
+void register_mqtt_scenarios(ScenarioRegistry& registry);
 
 const char* ScenarioSpec::system() const {
-  if (std::holds_alternative<NaradaConfig>(config)) return "narada";
-  if (std::holds_alternative<RgmaConfig>(config)) return "rgma";
-  return "custom";
+  return std::visit(
+      [](const auto& config) -> const char* {
+        using T = std::decay_t<decltype(config)>;
+        if constexpr (std::is_same_v<T, CustomScenario>) {
+          return config.backend.c_str();
+        } else {
+          return T::kBackend;
+        }
+      },
+      config);
 }
 
 Results run_scenario(const ScenarioSpec& spec, SimTime duration,
@@ -36,6 +45,12 @@ Results run_scenario(const ScenarioSpec& spec, SimTime duration,
           run.seed = seed;
           if (obs.enabled) run.obs = obs;
           return run_rgma_experiment(run);
+        } else if constexpr (std::is_same_v<T, MqttConfig>) {
+          MqttConfig run = config;
+          run.duration = duration;
+          run.seed = seed;
+          if (obs.enabled) run.obs = obs;
+          return run_mqtt_experiment(run);
         } else {
           return config.run(RunContext{duration, seed});
         }
@@ -98,7 +113,7 @@ ScenarioRegistry build_catalogue() {
   for (const auto& test : scenarios::narada_comparison_tests()) {
     reg.add({"narada/comparison/" + slug(test.label),
              "Table II + Figs 3-4: comparison test \"" + test.label +
-                 "\" (" + std::to_string(test.config.generators) +
+                 "\" (" + std::to_string(test.config.fleet.generators) +
                  " generators, single broker)",
              test.config});
   }
@@ -222,6 +237,7 @@ ScenarioRegistry build_catalogue() {
              config});
   }
 
+  register_mqtt_scenarios(reg);
   register_ablation_scenarios(reg);
   register_chaos_scenarios(reg);
   return reg;

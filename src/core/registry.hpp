@@ -33,9 +33,14 @@ struct RunContext {
 /// worker threads.
 struct CustomScenario {
   std::function<Results(const RunContext&)> run;
+  /// Backend name for display/filtering. Bespoke topologies set this to
+  /// the middleware they are built on ("narada", ...); plain "custom"
+  /// otherwise.
+  std::string backend = "custom";
 };
 
-using ScenarioConfig = std::variant<NaradaConfig, RgmaConfig, CustomScenario>;
+using ScenarioConfig =
+    std::variant<NaradaConfig, RgmaConfig, MqttConfig, CustomScenario>;
 
 /// One named experiment: the unit the registry stores and the campaign
 /// runner schedules.
@@ -48,7 +53,10 @@ struct ScenarioSpec {
   /// turns the verdicts into an exit code.
   obs::SloSpec slo = {};
 
-  /// "narada", "rgma" or "custom" — for display only.
+  /// Backend name ("narada", "rgma", "mqtt", ...). Data-driven: read from
+  /// the config type's kBackend constant (or CustomScenario::backend), so
+  /// adding a backend never touches a switch here. Used by `gridmon_cli
+  /// list --system` and exported as the campaign `system` column.
   [[nodiscard]] const char* system() const;
 };
 

@@ -392,6 +392,19 @@ CampaignDiff diff_campaigns(std::string_view baseline_json,
                            ? base.find("scenario")->string
                            : "?";
     diff.seed = static_cast<std::uint64_t>(number_or(base, "seed", 0));
+    // Backend name (schema v2 `system` key). A flip between documents is
+    // a configuration error worth surfacing, not a metric regression.
+    const JsonValue* base_system = base.find("system");
+    const JsonValue* cand_system = cand.find("system");
+    const std::string base_sys =
+        base_system != nullptr ? base_system->string : "";
+    const std::string cand_sys =
+        cand_system != nullptr ? cand_system->string : "";
+    if (!base_sys.empty() && !cand_sys.empty() && base_sys != cand_sys) {
+      diff.system = base_sys + " -> " + cand_sys;
+    } else {
+      diff.system = cand_sys.empty() ? base_sys : cand_sys;
+    }
     for (const DiffMetric& metric : kDiffMetrics) {
       MetricDelta delta;
       delta.name = metric.key;
@@ -453,9 +466,11 @@ std::string CampaignDiff::table() const {
   }
   char buf[256];
   for (const RunDiff& run : runs) {
-    std::snprintf(buf, sizeof(buf), "%s seed %llu%s%s\n",
+    std::snprintf(buf, sizeof(buf), "%s seed %llu%s%s%s%s\n",
                   run.scenario_id.c_str(),
                   static_cast<unsigned long long>(run.seed),
+                  run.system.empty() ? "" : "  [",
+                  run.system.empty() ? "" : (run.system + "]").c_str(),
                   run.slo_note.empty() ? "" : "  [slo ",
                   run.slo_note.empty() ? ""
                                        : (run.slo_note + "]").c_str());
@@ -506,6 +521,9 @@ std::string CampaignDiff::json() const {
                   static_cast<unsigned long long>(run.seed),
                   run.regression ? "true" : "false");
     out += buf;
+    if (!run.system.empty()) {
+      out += ", \"system\": \"" + run.system + "\"";
+    }
     if (!run.slo_note.empty()) {
       out += ", \"slo_change\": \"" + run.slo_note + "\"";
     }

@@ -82,6 +82,9 @@ struct MetricDelta {
 struct RunDiff {
   std::string scenario_id;
   std::uint64_t seed = 0;
+  /// Backend name (schema v2 `system` column); empty when the documents
+  /// predate it. "baseline -> candidate" note when the two disagree.
+  std::string system;
   std::vector<MetricDelta> metrics;
   /// "pass -> FAIL" style note when the SLO verdict flipped; empty else.
   std::string slo_note;

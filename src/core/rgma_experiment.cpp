@@ -32,21 +32,25 @@ class RgmaGenerator {
   RgmaGenerator(cluster::Hydra& hydra, int host, net::HttpClient& http,
                 net::Endpoint service, const RgmaConfig& config,
                 std::int64_t id, Metrics& metrics,
+                std::uint64_t& refused_in_faults,
+                const FaultInjector*& injector,
                 std::unordered_map<std::int64_t, SentRecord>& in_flight,
                 AvailabilityTracker& tracker)
       : hydra_(hydra),
         config_(config),
         id_(id),
         metrics_(metrics),
+        refused_in_faults_(refused_in_faults),
+        injector_(injector),
         in_flight_(in_flight),
         tracker_(tracker),
         rng_(hydra.sim().rng_stream("rgma.generator").stream(
             static_cast<std::uint64_t>(id))),
         producer_(hydra.host(host), http, service, static_cast<int>(id),
                   kTable) {
-    if (config.recovery) {
-      producer_.enable_redeclare(config.redeclare_backoff,
-                                 config.redeclare_backoff_max);
+    if (config.fleet.recovery) {
+      producer_.enable_redeclare(config.fleet.backoff_initial,
+                                 config.fleet.backoff_max);
     }
   }
 
@@ -58,23 +62,27 @@ class RgmaGenerator {
     producer_.declare([this](bool ok) {
       if (!ok) {
         metrics_.count_refused_connection();
+        if (injector_ != nullptr &&
+            in_fault_window(injector_->windows(), hydra_.sim().now())) {
+          ++refused_in_faults_;
+        }
         return;
       }
-      remaining_ = config_.publish_period > 0
-                       ? config_.duration / config_.publish_period
+      remaining_ = config_.fleet.publish_period > 0
+                       ? config_.duration / config_.fleet.publish_period
                        : 0;
       SimTime warmup;
-      if (config_.warmup_max > 0) {
+      if (config_.fleet.warmup_max > 0) {
         warmup = static_cast<SimTime>(
-            rng_.uniform(static_cast<double>(config_.warmup_min),
-                         static_cast<double>(config_.warmup_max)));
+            rng_.uniform(static_cast<double>(config_.fleet.warmup_min),
+                         static_cast<double>(config_.fleet.warmup_max)));
       } else {
         // No warm-up wait (the paper's loss experiment): the publish loop
         // still starts at a uniformly random phase within one period, so a
         // producer's first insert races the mediator's attachment — most
         // win, some lose their first tuple.
         warmup = static_cast<SimTime>(
-            rng_.uniform(0.0, static_cast<double>(config_.publish_period)));
+            rng_.uniform(0.0, static_cast<double>(config_.fleet.publish_period)));
       }
       hydra_.sim().schedule_after(warmup, [this] { insert_next(); });
     });
@@ -105,7 +113,7 @@ class RgmaGenerator {
         in_flight_.erase(it);
       }
     });
-    hydra_.sim().schedule_after(config_.publish_period,
+    hydra_.sim().schedule_after(config_.fleet.publish_period,
                                 [this] { insert_next(); });
   }
 
@@ -113,6 +121,8 @@ class RgmaGenerator {
   const RgmaConfig& config_;
   std::int64_t id_;
   Metrics& metrics_;
+  std::uint64_t& refused_in_faults_;
+  const FaultInjector*& injector_;
   std::unordered_map<std::int64_t, SentRecord>& in_flight_;
   AvailabilityTracker& tracker_;
   util::Rng rng_;
@@ -246,7 +256,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   if (config.registry_ttl > 0) {
     network.registry().set_registration_ttl(config.registry_ttl);
   }
-  if (config.recovery) {
+  if (config.fleet.recovery) {
     for (int i = 0; i < network.producer_service_count(); ++i) {
       network.producer_service(i).enable_registration_renewal(
           config.renewal_period);
@@ -260,6 +270,8 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   Results results;
   results.metrics.set_deadline(units::seconds(5));
   std::unordered_map<std::int64_t, SentRecord> in_flight;
+  std::uint64_t refused_in_faults = 0;
+  const FaultInjector* injector_ptr = nullptr;
   AvailabilityTracker tracker;
 
   // Observability: one recorder for the run, installed thread-locally so
@@ -332,7 +344,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
     std::string query = "SELECT * FROM " + table_to_watch;
     if (consumer_services > 1) {
       // Content-based partitioning across consumer services.
-      const int share = config.producers / consumer_services + 1;
+      const int share = config.fleet.generators / consumer_services + 1;
       const int lo = c * share;
       const int hi = lo + share;
       query += " WHERE id >= " + std::to_string(lo) + " AND id < " +
@@ -345,7 +357,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
         http_for(static_cast<std::size_t>(c)),
         network.consumer_service(c).endpoint(), 800000 + c, std::move(query),
         config.poll_period, results.metrics, in_flight, tracker,
-        config.recovery ? config.consumer_retry : SimTime{0}));
+        config.fleet.recovery ? config.consumer_retry : SimTime{0}));
     subscribers.back()->set_rtt_series(rtt_series);
     hydra.sim().schedule_at(kStartTime / 2, [sub = subscribers.back().get()] {
       sub->start();
@@ -354,14 +366,14 @@ Results run_rgma_experiment(const RgmaConfig& config) {
 
   // Producer fleet on the paper's 1 s creation stagger.
   std::vector<std::unique_ptr<RgmaGenerator>> fleet;
-  fleet.reserve(static_cast<std::size_t>(config.producers));
-  for (int g = 0; g < config.producers; ++g) {
+  fleet.reserve(static_cast<std::size_t>(config.fleet.generators));
+  for (int g = 0; g < config.fleet.generators; ++g) {
     const std::size_t client = static_cast<std::size_t>(g) % client_hosts.size();
     fleet.push_back(std::make_unique<RgmaGenerator>(
         hydra, client_hosts[client], http_for(client),
         network.assign_producer_service(), config, g, results.metrics,
-        in_flight, tracker));
-    hydra.sim().schedule_at(kStartTime + config.creation_interval * g,
+        refused_in_faults, injector_ptr, in_flight, tracker));
+    hydra.sim().schedule_at(kStartTime + config.fleet.creation_interval * g,
                             [gen = fleet.back().get()] { gen->start(); });
   }
 
@@ -373,8 +385,8 @@ Results run_rgma_experiment(const RgmaConfig& config) {
     if (!seen) server_hosts.push_back(h);
   }
   const SimTime steady_begin = kStartTime +
-                               config.creation_interval * config.producers +
-                               config.warmup_max;
+                               config.fleet.creation_interval * config.fleet.generators +
+                               config.fleet.warmup_max;
   const SimTime measure_end = steady_begin + config.duration;
 
   // Fault injection: bridge FaultPlan events onto the LAN and the R-GMA
@@ -416,6 +428,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   hooks.expire_registrations = [&network] { network.registry().expire_now(); };
   FaultInjector injector(hydra.sim(), config.faults, hooks);
   injector.arm(steady_begin);
+  injector_ptr = &injector;
   tracker.set_windows(injector.windows());
   if (recorder) {
     for (const FaultEvent& event : config.faults.events) {
@@ -514,8 +527,12 @@ Results run_rgma_experiment(const RgmaConfig& config) {
       idle_sum / static_cast<double>(cpu_samplers.size());
   results.servers.memory_bytes =
       mem_sum / static_cast<std::int64_t>(mem_samplers.size());
+  for (int host : server_hosts) {
+    results.wire_bytes += hydra.lan().bytes_to_node(host);
+  }
   results.refused = results.metrics.refused_connections();
-  results.completed = results.refused == 0;
+  results.refused_in_faults = refused_in_faults;
+  results.completed = !results.hit_oom_wall();
   results.kernel = hydra.sim().kernel_stats();
   if (memprof) {
     memprof->set(obs::MemCategory::kKernelSlab,

@@ -7,7 +7,7 @@ std::vector<ComparisonTest> narada_comparison_tests(std::uint64_t seed) {
   std::vector<ComparisonTest> tests;
 
   NaradaConfig base;
-  base.generators = 800;
+  base.fleet.generators = 800;
   base.seed = seed;
 
   {
@@ -35,16 +35,16 @@ std::vector<ComparisonTest> narada_comparison_tests(std::uint64_t seed) {
     // Test 5: triple payload at one third the rate — total data unchanged.
     ComparisonTest t{"Triple", base};
     t.config.transport = TransportKind::kTcp;
-    t.config.pad_bytes = 2 * 430;  // standard message ≈ 430 B on the wire
-    t.config.publish_period = base.publish_period * 3;
+    t.config.fleet.pad_bytes = 2 * 430;  // standard message ≈ 430 B on the wire
+    t.config.fleet.publish_period = base.fleet.publish_period * 3;
     tests.push_back(std::move(t));
   }
   {
     // Test 6: 80 connections publishing ten times as fast.
     ComparisonTest t{"80", base};
     t.config.transport = TransportKind::kTcp;
-    t.config.generators = 80;
-    t.config.publish_period = base.publish_period / 10;
+    t.config.fleet.generators = 80;
+    t.config.fleet.publish_period = base.fleet.publish_period / 10;
     tests.push_back(std::move(t));
   }
   return tests;
@@ -52,7 +52,7 @@ std::vector<ComparisonTest> narada_comparison_tests(std::uint64_t seed) {
 
 NaradaConfig narada_single(int connections, std::uint64_t seed) {
   NaradaConfig config;
-  config.generators = connections;
+  config.fleet.generators = connections;
   config.broker_hosts = {0};
   config.seed = seed;
   return config;
@@ -60,7 +60,7 @@ NaradaConfig narada_single(int connections, std::uint64_t seed) {
 
 NaradaConfig narada_dbn(int connections, std::uint64_t seed) {
   NaradaConfig config;
-  config.generators = connections;
+  config.fleet.generators = connections;
   config.broker_hosts = {0, 1, 2, 3};
   config.seed = seed;
   return config;
@@ -68,7 +68,7 @@ NaradaConfig narada_dbn(int connections, std::uint64_t seed) {
 
 RgmaConfig rgma_single(int connections, std::uint64_t seed) {
   RgmaConfig config;
-  config.producers = connections;
+  config.fleet.generators = connections;
   config.distributed = false;
   config.seed = seed;
   return config;
@@ -88,8 +88,8 @@ RgmaConfig rgma_with_secondary(int connections, std::uint64_t seed) {
 
 RgmaConfig rgma_no_warmup(std::uint64_t seed) {
   RgmaConfig config = rgma_single(400, seed);
-  config.warmup_min = 0;
-  config.warmup_max = 0;
+  config.fleet.warmup_min = 0;
+  config.fleet.warmup_max = 0;
   return config;
 }
 

@@ -42,6 +42,12 @@ struct ComparisonTest {
 /// immediately; the paper measured 0.17 % loss).
 [[nodiscard]] RgmaConfig rgma_no_warmup(std::uint64_t seed = 1);
 
+/// Modern baseline: one MQTT broker, `connections` QoS-`qos` publishers,
+/// one wildcard ('powergrid/#') monitoring subscriber. The counterpart of
+/// narada_single for the three-backend comparisons.
+[[nodiscard]] MqttConfig mqtt_single(int connections, int qos = 0,
+                                     std::uint64_t seed = 1);
+
 // Every factory returns the paper-faithful 30-minute configuration. Quick
 // runs shrink the duration explicitly — per config via `scaled()`, or for a
 // whole sweep via `CampaignOptions::duration` (core/campaign.hpp). There is

@@ -1,0 +1,556 @@
+#include "mqtt/broker.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "cluster/costs.hpp"
+#include "mqtt/topic.hpp"
+#include "obs/memprof.hpp"
+#include "obs/recorder.hpp"
+#include "util/log.hpp"
+
+namespace gridmon::mqtt {
+
+namespace costs = cluster::costs;
+
+namespace {
+
+/// Hop-span mark for the sample a packet carries (no-op unless the run has
+/// an observability recorder installed and the message is sampled).
+void mark_packet(const PacketPtr& packet, std::string_view stage) {
+  if constexpr (!obs::kEnabled) return;
+  if (obs::tracer() == nullptr) return;
+  if (!packet->message_id.empty()) {
+    obs::mark_message(packet->message_id, stage);
+  }
+}
+
+/// Bytes a session's routing/soft state charges to the model-memory
+/// profile (subscription list entry or parked/queued message).
+std::int64_t subscription_footprint(const std::string& filter) {
+  return static_cast<std::int64_t>(sizeof(std::pair<std::string, int>) +
+                                   filter.size());
+}
+
+std::int64_t parked_footprint(const PacketPtr& packet) {
+  return static_cast<std::int64_t>(sizeof(Packet) + packet->topic.size()) +
+         packet->payload_bytes;
+}
+
+}  // namespace
+
+MqttBroker::MqttBroker(cluster::Host& host, net::Lan& lan,
+                       net::StreamTransport& streams, MqttBrokerConfig config)
+    : host_(host), lan_(lan), streams_(streams), config_(config) {}
+
+MqttBroker::~MqttBroker() {
+  if (started_ && !crashed_) streams_.close_listener(config_.endpoint);
+}
+
+void MqttBroker::start() {
+  started_ = true;
+  streams_.listen(config_.endpoint, [this](net::StreamConnectionPtr conn) {
+    on_stream_accept(std::move(conn));
+  });
+  retransmit_timer_ = sim::PeriodicTimer(
+      host_.sim(), host_.sim().now() + config_.retransmit_sweep,
+      config_.retransmit_sweep, [this] { retransmit_packets(); });
+  keep_alive_timer_ = sim::PeriodicTimer(
+      host_.sim(), host_.sim().now() + units::seconds(1), units::seconds(1),
+      [this] { expire_sessions(); });
+}
+
+void MqttBroker::crash() {
+  if (!started_ || crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  streams_.close_listener(config_.endpoint);
+  // The process dies: every connection and all in-memory state goes.
+  // Sessions are detached before the close so the deferred on_close
+  // callbacks (and any will publication) no-op.
+  for (auto& [id, session] : sessions_) {
+    if (session.connected) {
+      host_.heap().release(costs::kMqttSessionBytes);
+      session.connected = false;
+    }
+    auto conn = std::move(session.conn);
+    session.conn.reset();
+    if (conn && conn->open()) conn->close();
+    for (const auto& [filter, qos] : session.subscriptions) {
+      obs::mem_sub(obs::MemCategory::kBrokerRouting,
+                   subscription_footprint(filter));
+    }
+    for (const auto& [pid, parked] : session.inbound_qos2) {
+      obs::mem_sub(obs::MemCategory::kBrokerRouting,
+                   parked_footprint(parked));
+    }
+    for (const auto& queued : session.offline_queue) {
+      obs::mem_sub(obs::MemCategory::kBrokerRouting,
+                   parked_footprint(queued));
+    }
+  }
+  sessions_.clear();
+  for (const auto& [topic, packet] : retained_) {
+    obs::mem_sub(obs::MemCategory::kBrokerRouting, parked_footprint(packet));
+  }
+  retained_.clear();
+  GRIDMON_WARN("mqtt.broker") << "broker " << config_.broker_id << " crashed";
+}
+
+void MqttBroker::restart() {
+  if (!started_ || !crashed_) return;
+  crashed_ = false;
+  streams_.listen(config_.endpoint, [this](net::StreamConnectionPtr conn) {
+    on_stream_accept(std::move(conn));
+  });
+  GRIDMON_WARN("mqtt.broker")
+      << "broker " << config_.broker_id << " restarted";
+}
+
+int MqttBroker::subscription_count() const {
+  int count = 0;
+  for (const auto& [id, session] : sessions_) {
+    count += static_cast<int>(session.subscriptions.size());
+  }
+  return count;
+}
+
+SimTime MqttBroker::packet_service_demand(std::int64_t bytes,
+                                          int fanout) const {
+  const SimTime demand =
+      costs::kMqttPacketBase +
+      static_cast<SimTime>(static_cast<double>(bytes) *
+                           costs::kSerializePerByteNs) +
+      costs::kMqttFanoutCost * fanout;
+  // Event-loop inflation grows with the live session table, not with
+  // threads (there is one).
+  const double load = 1.0 + costs::kMqttSessionLoadFactor *
+                                static_cast<double>(sessions_.size());
+  return static_cast<SimTime>(static_cast<double>(demand) * load);
+}
+
+void MqttBroker::on_stream_accept(net::StreamConnectionPtr conn) {
+  if (crashed_) {
+    conn->close();
+    return;
+  }
+  // Session admission: socket buffers + session state on the event loop's
+  // heap (no thread spawn — the MQTT wall is heap, far past Narada's).
+  if (!host_.heap().allocate(costs::kMqttSessionBytes)) {
+    ++stats_.connections_refused;
+    GRIDMON_DEBUG("mqtt.broker")
+        << "broker " << config_.broker_id << " refused connection (heap)";
+    conn->close();
+    return;
+  }
+  ++stats_.connections_accepted;
+  // First packet on a fresh connection must be CONNECT; the handler is
+  // re-pointed at the session once the client identifies itself. Weak
+  // capture: the handler lives inside the connection (self-cycle hazard).
+  conn->set_handler(
+      1, [this, wconn = std::weak_ptr<net::StreamConnection>(conn)](
+             const net::Datagram& dg) {
+        auto conn = wconn.lock();
+        if (!conn || crashed_) return;
+        if (!dg.payload.has_value()) return;
+        const auto* maybe = std::any_cast<PacketPtr>(&dg.payload);
+        if (maybe == nullptr || !*maybe) return;
+        if ((*maybe)->type != PacketType::kConnect) return;
+        handle_connect(conn, *maybe);
+      });
+}
+
+void MqttBroker::handle_connect(const net::StreamConnectionPtr& conn,
+                                const PacketPtr& packet) {
+  host_.cpu().charge(packet_service_demand(packet_wire_size(*packet), 0));
+  const std::string& id = packet->client_id;
+  auto it = sessions_.find(id);
+  bool resumed = false;
+  if (it != sessions_.end()) {
+    Session& existing = it->second;
+    if (existing.connected) {
+      // Client takeover: the old connection is superseded (MQTT allows one
+      // connection per client id). Detach first so its close is graceful.
+      auto old = std::move(existing.conn);
+      existing.conn.reset();
+      existing.connected = false;
+      host_.heap().release(costs::kMqttSessionBytes);
+      if (old && old->open()) old->close();
+    }
+    if (packet->clean_session) {
+      erase_session(id);
+      it = sessions_.end();
+    } else {
+      resumed = true;
+    }
+  }
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(id, Session{}).first;
+    it->second.client_id = id;
+  }
+  Session& session = it->second;
+  session.clean = packet->clean_session;
+  session.connected = true;
+  session.conn = conn;
+  session.keep_alive = packet->keep_alive;
+  session.last_seen = host_.sim().now();
+  session.will_topic = packet->will_topic;
+  session.will_bytes = packet->will_bytes;
+  session.will_qos = packet->will_qos;
+  session.will_retain = packet->will_retain;
+  if (resumed) ++stats_.sessions_resumed;
+
+  // Route subsequent packets through the session; notice ungraceful
+  // connection loss (will publication) via the close handler.
+  conn->set_handler(
+      1,
+      [this, id](const net::Datagram& dg) { on_session_packet(id, dg); },
+      [this, id, wconn = std::weak_ptr<net::StreamConnection>(conn)] {
+        if (crashed_) return;
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end() || !it->second.connected) return;
+        // Only the connection we still consider current counts: a detach
+        // (takeover, expiry, crash) already reset session.conn.
+        if (it->second.conn != wconn.lock()) return;
+        drop_connection(id, /*graceful=*/false);
+      });
+
+  Packet ack;
+  ack.type = PacketType::kConnAck;
+  ack.session_present = resumed;
+  conn->send(1, kControlPacketBytes, std::make_shared<const Packet>(ack));
+
+  if (resumed) {
+    // Session resumption: re-send the unacknowledged QoS 1/2 window, then
+    // drain everything queued while the client was away.
+    for (auto& [pid, entry] : session.in_flight) {
+      if (entry.awaiting_comp) {
+        reply(session, PacketType::kPubRel, pid);
+      } else {
+        auto dup = std::make_shared<Packet>(*entry.publish);
+        dup->duplicate = true;
+        entry.publish = dup;
+        entry.last_sent = host_.sim().now();
+        send_to(session, dup);
+      }
+      ++stats_.retransmissions;
+    }
+    while (!session.offline_queue.empty()) {
+      PacketPtr queued = session.offline_queue.front();
+      session.offline_queue.pop_front();
+      obs::mem_sub(obs::MemCategory::kBrokerRouting,
+                   parked_footprint(queued));
+      deliver(session, queued->qos, queued, /*retained_replay=*/false);
+    }
+  }
+}
+
+void MqttBroker::on_session_packet(const std::string& client_id,
+                                   const net::Datagram& datagram) {
+  if (crashed_) return;
+  const auto it = sessions_.find(client_id);
+  if (it == sessions_.end() || !it->second.connected) return;
+  if (!datagram.payload.has_value()) return;
+  const auto* maybe = std::any_cast<PacketPtr>(&datagram.payload);
+  if (maybe == nullptr || !*maybe) return;
+  const PacketPtr& packet = *maybe;
+  Session& session = it->second;
+  session.last_seen = host_.sim().now();
+
+  switch (packet->type) {
+    case PacketType::kConnect:
+      // Duplicate CONNECT on a live session is a protocol error; ignore.
+      break;
+    case PacketType::kSubscribe: {
+      host_.cpu().charge(
+          packet_service_demand(packet_wire_size(*packet), 0));
+      const int granted = packet->qos;
+      bool replaced = false;
+      for (auto& [filter, qos] : session.subscriptions) {
+        if (filter == packet->topic) {
+          qos = granted;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) {
+        session.subscriptions.emplace_back(packet->topic, granted);
+        obs::mem_add(obs::MemCategory::kBrokerRouting,
+                     subscription_footprint(packet->topic));
+      }
+      reply(session, PacketType::kSubAck, packet->packet_id);
+      replay_retained(session, packet->topic, granted);
+      break;
+    }
+    case PacketType::kPublish:
+      handle_publish(session, packet);
+      break;
+    case PacketType::kPubRel: {
+      // Publisher releases a parked QoS 2 message: deliver exactly once.
+      const auto parked = session.inbound_qos2.find(packet->packet_id);
+      if (parked != session.inbound_qos2.end()) {
+        PacketPtr stored = parked->second;
+        session.inbound_qos2.erase(parked);
+        obs::mem_sub(obs::MemCategory::kBrokerRouting,
+                     parked_footprint(stored));
+        ingest_publish(stored);
+      }
+      reply(session, PacketType::kPubComp, packet->packet_id);
+      break;
+    }
+    case PacketType::kPubAck:
+      // Subscriber acknowledged a QoS 1 delivery.
+      session.in_flight.erase(packet->packet_id);
+      break;
+    case PacketType::kPubRec: {
+      // Subscriber stored a QoS 2 delivery: release it.
+      const auto entry = session.in_flight.find(packet->packet_id);
+      if (entry != session.in_flight.end()) {
+        entry->second.awaiting_comp = true;
+        entry->second.last_sent = host_.sim().now();
+      }
+      reply(session, PacketType::kPubRel, packet->packet_id);
+      break;
+    }
+    case PacketType::kPubComp:
+      session.in_flight.erase(packet->packet_id);
+      break;
+    case PacketType::kPingReq:
+      host_.cpu().charge(costs::kMqttPacketBase);
+      reply(session, PacketType::kPingResp, 0);
+      break;
+    case PacketType::kDisconnect:
+      // Graceful: the will is discarded, per the specification.
+      drop_connection(client_id, /*graceful=*/true);
+      break;
+    default:
+      break;
+  }
+}
+
+void MqttBroker::handle_publish(Session& session, const PacketPtr& packet) {
+  ++stats_.publishes_received;
+  mark_packet(packet, "wire");
+  switch (packet->qos) {
+    case 0:
+      ingest_publish(packet);
+      break;
+    case 1:
+      // At-least-once: acknowledge and ingest every copy — a DUP
+      // redelivery whose original made it through becomes a duplicate
+      // delivery downstream, exactly the QoS 1 contract.
+      reply(session, PacketType::kPubAck, packet->packet_id);
+      ingest_publish(packet);
+      break;
+    default: {
+      // Exactly-once: park the message under its packet id until PUBREL.
+      // A DUP copy of a parked id acknowledges again without re-parking.
+      const auto parked = session.inbound_qos2.find(packet->packet_id);
+      if (parked == session.inbound_qos2.end()) {
+        session.inbound_qos2.emplace(packet->packet_id, packet);
+        obs::mem_add(obs::MemCategory::kBrokerRouting,
+                     parked_footprint(packet));
+      } else {
+        ++stats_.qos2_duplicates_parked;
+      }
+      reply(session, PacketType::kPubRec, packet->packet_id);
+      break;
+    }
+  }
+}
+
+void MqttBroker::ingest_publish(const PacketPtr& packet) {
+  if (crashed_) return;
+  mark_packet(packet, "ingress");
+  if (packet->retain) store_retained(packet);
+
+  // Fan-out is part of the service demand: count matching subscriptions
+  // first (the filter walk the event loop really performs).
+  int fanout = 0;
+  for (const auto& [id, session] : sessions_) {
+    for (const auto& [filter, qos] : session.subscriptions) {
+      if (topic_matches(filter, packet->topic)) {
+        ++fanout;
+        break;
+      }
+    }
+  }
+  const std::int64_t bytes = packet_wire_size(*packet);
+  // In-flight publishes hold heap until dispatched (degrades, not refuses).
+  const std::int64_t transient = bytes * 2;
+  (void)host_.heap().allocate(transient);
+  host_.cpu().execute(
+      packet_service_demand(bytes, fanout), [this, packet, transient] {
+        mark_packet(packet, "match_fanout");
+        host_.heap().release(transient);
+        if (crashed_) return;
+        for (auto& [id, session] : sessions_) {
+          for (const auto& [filter, granted] : session.subscriptions) {
+            if (!topic_matches(filter, packet->topic)) continue;
+            deliver(session, granted, packet, /*retained_replay=*/false);
+            break;  // one delivery per session, at its best-matching grant
+          }
+        }
+      });
+}
+
+void MqttBroker::deliver(Session& session, int granted_qos,
+                         const PacketPtr& publish, bool retained_replay) {
+  const int qos = publish->qos < granted_qos ? publish->qos : granted_qos;
+  if (qos == 0) {
+    if (!session.connected) return;  // fire-and-forget: offline drops
+    auto out = std::make_shared<Packet>(*publish);
+    out->qos = 0;
+    out->retain = retained_replay;
+    out->duplicate = false;
+    out->packet_id = 0;
+    ++stats_.publishes_delivered;
+    send_to(session, std::move(out));
+    return;
+  }
+  if (!session.connected) {
+    if (session.clean) return;
+    // Persistent session: queue for redelivery at resumption.
+    auto queued = std::make_shared<Packet>(*publish);
+    queued->qos = qos;
+    queued->retain = retained_replay;
+    session.offline_queue.push_back(std::move(queued));
+    obs::mem_add(obs::MemCategory::kBrokerRouting,
+                 parked_footprint(session.offline_queue.back()));
+    return;
+  }
+  auto out = std::make_shared<Packet>(*publish);
+  out->qos = qos;
+  out->retain = retained_replay;
+  out->duplicate = false;
+  // Broker-assigned id for the outbound QoS 1/2 window (0 is reserved).
+  if (session.next_packet_id == 0) session.next_packet_id = 1;
+  out->packet_id = session.next_packet_id++;
+  PacketPtr shared = std::move(out);
+  session.in_flight[shared->packet_id] =
+      InFlightOut{shared, false, host_.sim().now()};
+  ++stats_.publishes_delivered;
+  send_to(session, shared);
+}
+
+void MqttBroker::send_to(Session& session, const PacketPtr& packet) {
+  if (!session.conn || !session.conn->open()) return;
+  session.conn->send(1, packet_wire_size(*packet), packet);
+}
+
+void MqttBroker::reply(Session& session, PacketType type,
+                       std::uint16_t packet_id) {
+  Packet packet;
+  packet.type = type;
+  packet.packet_id = packet_id;
+  host_.cpu().charge(costs::kMqttPacketBase);
+  send_to(session, std::make_shared<const Packet>(packet));
+}
+
+void MqttBroker::store_retained(const PacketPtr& packet) {
+  const auto it = retained_.find(packet->topic);
+  if (it != retained_.end()) {
+    obs::mem_sub(obs::MemCategory::kBrokerRouting,
+                 parked_footprint(it->second));
+    retained_.erase(it);
+  }
+  // A zero-byte retained publish clears the slot (MQTT semantics).
+  if (packet->payload_bytes <= 0) return;
+  retained_.emplace(packet->topic, packet);
+  obs::mem_add(obs::MemCategory::kBrokerRouting, parked_footprint(packet));
+}
+
+void MqttBroker::replay_retained(Session& session, const std::string& filter,
+                                 int granted_qos) {
+  for (const auto& [topic, packet] : retained_) {
+    if (!topic_matches(filter, topic)) continue;
+    ++stats_.retained_replayed;
+    deliver(session, granted_qos, packet, /*retained_replay=*/true);
+  }
+}
+
+void MqttBroker::publish_will(Session& session) {
+  if (session.will_topic.empty()) return;
+  auto will = std::make_shared<Packet>();
+  will->type = PacketType::kPublish;
+  will->topic = session.will_topic;
+  will->qos = session.will_qos;
+  will->retain = session.will_retain;
+  will->payload_bytes = session.will_bytes;
+  will->published_at = host_.sim().now();
+  ++stats_.wills_published;
+  ingest_publish(std::move(will));
+}
+
+void MqttBroker::drop_connection(const std::string& client_id,
+                                 bool graceful) {
+  const auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  if (session.connected) {
+    session.connected = false;
+    host_.heap().release(costs::kMqttSessionBytes);
+    auto conn = std::move(session.conn);
+    session.conn.reset();
+    if (conn && conn->open()) conn->close();
+  }
+  if (!graceful) publish_will(session);
+  if (session.clean) erase_session(client_id);
+}
+
+void MqttBroker::erase_session(const std::string& client_id) {
+  const auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  for (const auto& [filter, qos] : session.subscriptions) {
+    obs::mem_sub(obs::MemCategory::kBrokerRouting,
+                 subscription_footprint(filter));
+  }
+  for (const auto& [pid, parked] : session.inbound_qos2) {
+    obs::mem_sub(obs::MemCategory::kBrokerRouting, parked_footprint(parked));
+  }
+  for (const auto& queued : session.offline_queue) {
+    obs::mem_sub(obs::MemCategory::kBrokerRouting, parked_footprint(queued));
+  }
+  sessions_.erase(it);
+}
+
+void MqttBroker::retransmit_packets() {
+  if (crashed_) return;
+  const SimTime now = host_.sim().now();
+  for (auto& [id, session] : sessions_) {
+    if (!session.connected) continue;
+    for (auto& [pid, entry] : session.in_flight) {
+      if (now - entry.last_sent < config_.retransmit_timeout) continue;
+      entry.last_sent = now;
+      ++stats_.retransmissions;
+      if (entry.awaiting_comp) {
+        reply(session, PacketType::kPubRel, pid);
+      } else {
+        auto dup = std::make_shared<Packet>(*entry.publish);
+        dup->duplicate = true;
+        entry.publish = dup;
+        send_to(session, entry.publish);
+      }
+    }
+  }
+}
+
+void MqttBroker::expire_sessions() {
+  if (crashed_) return;
+  const SimTime now = host_.sim().now();
+  std::vector<std::string> expired;
+  for (const auto& [id, session] : sessions_) {
+    if (!session.connected || session.keep_alive <= 0) continue;
+    const auto deadline = static_cast<SimTime>(
+        static_cast<double>(session.keep_alive) * config_.keep_alive_grace);
+    if (now - session.last_seen > deadline) expired.push_back(id);
+  }
+  for (const std::string& id : expired) {
+    ++stats_.sessions_expired;
+    GRIDMON_DEBUG("mqtt.broker") << "session " << id << " keep-alive expired";
+    drop_connection(id, /*graceful=*/false);  // publishes the last will
+  }
+}
+
+}  // namespace gridmon::mqtt

@@ -2,6 +2,7 @@
 #include "core/campaign.hpp"
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -54,10 +55,17 @@ const std::vector<std::string> kSection4Ids = {
     "ablation/aggregation/4", "ablation/aggregation/8",
     "ablation/aggregation/16", "ablation/aggregation/32",
     "ablation/webservices/binary", "ablation/webservices/soap",
+    // MQTT modern baseline (DESIGN.md §4)
+    "mqtt/single/400", "mqtt/single/800", "mqtt/single/2000",
+    "mqtt/single/4000", "mqtt/qos0/800", "mqtt/qos1/800", "mqtt/qos2/800",
+    "mqtt/highrate/100", "mqtt/gateway/40x20", "mqtt/mixed/900",
     // Chaos: fault injection + recovery (DESIGN.md §5)
     "chaos/narada/broker_crash/800", "chaos/narada/broker_crash/800_norecovery",
     "chaos/narada/dbn_partition", "chaos/narada/nic_flap/400",
-    "chaos/narada/udp_loss_burst/800", "chaos/rgma/registry_outage/400",
+    "chaos/narada/udp_loss_burst/800",
+    "chaos/mqtt/flapping_link/800", "chaos/mqtt/flapping_link/800_qos0",
+    "chaos/mqtt/broker_crash/800", "chaos/mqtt/broker_crash/800_norecovery",
+    "chaos/rgma/registry_outage/400",
     "chaos/rgma/registry_outage/400_norecovery", "chaos/rgma/servlet_restart",
     "chaos/rgma/servlet_restart_norecovery",
 };
@@ -84,6 +92,51 @@ TEST(RegistryTest, FindAndMatch) {
   EXPECT_TRUE(registry.match("no/such/prefix").empty());
   EXPECT_STREQ(registry.find("ablation/webservices/soap")->system(),
                "custom");
+  EXPECT_STREQ(registry.find("mqtt/single/800")->system(), "mqtt");
+  EXPECT_STREQ(registry.find("rgma/single/100")->system(), "rgma");
+}
+
+TEST(RegistryTest, MatchEdgeCases) {
+  ScenarioRegistry reg;
+  reg.add({"mqtt/qos1/800", "a", scenarios::mqtt_single(800, 1)});
+  reg.add({"mqtt/qos1/8000", "b", scenarios::mqtt_single(8000, 1)});
+  reg.add({"mqtt/qos2/800", "c", scenarios::mqtt_single(800, 2)});
+
+  // The empty prefix matches the whole catalogue.
+  EXPECT_EQ(reg.match("").size(), 3u);
+  // An exact id is its own prefix — and a strict prefix of a longer id
+  // also matches, so an id that prefixes another returns both.
+  EXPECT_EQ(reg.match("mqtt/qos2/800").size(), 1u);
+  EXPECT_EQ(reg.match("mqtt/qos1/800").size(), 2u);
+  // A prefix longer than any id matches nothing (no out-of-range access).
+  EXPECT_TRUE(reg.match("mqtt/qos2/800/extra").empty());
+
+  // Duplicate ids are rejected with the offending id in the message.
+  try {
+    reg.add({"mqtt/qos1/800", "dup", scenarios::mqtt_single(800, 1)});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate scenario id"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("mqtt/qos1/800"),
+              std::string::npos);
+  }
+}
+
+TEST(RegistryTest, RunScenarioOverridesMqttDurationAndSeed) {
+  // Same contract as the Narada twin below: the embedded MqttConfig is
+  // paper-faithful (30 min); run_scenario must apply the campaign's
+  // duration and seed instead.
+  ScenarioSpec spec{"test/mqtt/small", "small mqtt run",
+                    scenarios::mqtt_single(40, /*qos=*/1)};
+  const Results a = run_scenario(spec, units::minutes(1), 7);
+  const Results b = run_scenario(spec, units::minutes(1), 7);
+  const Results c = run_scenario(spec, units::minutes(1), 8);
+  EXPECT_GT(a.metrics.sent(), 0u);
+  EXPECT_EQ(a.metrics.sent(), b.metrics.sent());
+  EXPECT_EQ(a.metrics.rtt_mean_ms(), b.metrics.rtt_mean_ms());
+  // A different seed shifts warm-up jitter: some metric must differ.
+  EXPECT_NE(a.metrics.rtt_mean_ms(), c.metrics.rtt_mean_ms());
 }
 
 TEST(RegistryTest, RunScenarioOverridesDurationAndSeed) {
@@ -213,8 +266,11 @@ TEST(CampaignTest, CsvShapeIsStable) {
             "peak_queue_depth,cb_heap_allocs,handle_allocs,faults,"
             "downtime_ms,ttr_ms,lost_in_window,lost_post_window,late,"
             "reconnects,resubscribes,reregistrations,slo_pass,"
-            "slo_worst_burn,peak_model_bytes");
+            "slo_worst_burn,peak_model_bytes,system");
   EXPECT_NE(csv.find("test/narada/60,1,"), std::string::npos);
+  // The schema-v2 system column closes every row with the backend name.
+  EXPECT_EQ(csv.substr(csv.size() - std::string(",narada\n").size()),
+            ",narada\n");
 }
 
 }  // namespace

@@ -37,9 +37,11 @@ std::string campaign_csv(const char* prefix, int jobs) {
 
 // Golden hashes recorded from the jobs=1 run at the settings above. If a
 // code change moves these, every chaos metric moved with it — rerecord only
-// when the shift is understood and intended.
-constexpr std::uint64_t kGoldenBrokerCrash = 3670788410112251198ULL;
-constexpr std::uint64_t kGoldenServletRestart = 4971368107008813412ULL;
+// when the shift is understood and intended. (Last rerecord: schema-v2
+// `system` CSV column plus server-ingress wire_bytes metering in the
+// Narada/R-GMA harnesses; no other metric value changed.)
+constexpr std::uint64_t kGoldenBrokerCrash = 14166480120698605448ULL;
+constexpr std::uint64_t kGoldenServletRestart = 13252089563737305222ULL;
 
 TEST(ChaosDeterminism, BrokerCrashByteIdenticalAcrossJobs) {
   const std::string serial = campaign_csv("chaos/narada/broker_crash", 1);

@@ -257,9 +257,9 @@ TEST(ChaosNarada, BrokerCrashRecoveryBeatsNoRecovery) {
   config.seed = 7;
   config.faults.broker_crash(units::seconds(10), 0, units::seconds(5));
 
-  config.recovery = true;
+  config.fleet.recovery = true;
   const Results with = run_narada_experiment(config);
-  config.recovery = false;
+  config.fleet.recovery = false;
   const Results without = run_narada_experiment(config);
 
   EXPECT_EQ(with.availability.fault_events, 1u);
@@ -284,9 +284,9 @@ TEST(ChaosRgma, ServletRestartRecoveryBeatsNoRecovery) {
   config.faults.producer_servlet_restart(units::seconds(10), 0,
                                          units::seconds(10));
 
-  config.recovery = true;
+  config.fleet.recovery = true;
   const Results with = run_rgma_experiment(config);
-  config.recovery = false;
+  config.fleet.recovery = false;
   const Results without = run_rgma_experiment(config);
 
   EXPECT_EQ(with.availability.fault_events, 1u);

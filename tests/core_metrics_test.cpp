@@ -144,6 +144,12 @@ TEST(Results, OomWallFlag) {
   EXPECT_FALSE(results.hit_oom_wall());
   results.refused = 3;
   EXPECT_TRUE(results.hit_oom_wall());
+  // Refusals that land inside injected fault windows (a crashed broker
+  // turning clients away) are availability events, not an OOM wall.
+  results.refused_in_faults = 3;
+  EXPECT_FALSE(results.hit_oom_wall());
+  results.refused = 5;
+  EXPECT_TRUE(results.hit_oom_wall());
 }
 
 }  // namespace

@@ -71,9 +71,12 @@ std::uint64_t campaign_hash(const char* scenario_id, int jobs) {
 
 // Recorded with the seed kernel (commit ffdedbd, std::priority_queue +
 // per-event shared_ptr control blocks) on the tier-1 build settings:
-// 1 virtual minute, seeds {1, 2}.
-constexpr std::uint64_t kGoldenNarada = 13780458476191480422ULL;
-constexpr std::uint64_t kGoldenRgma = 15369597596065479904ULL;
+// 1 virtual minute, seeds {1, 2}. (Last rerecord: the Narada/R-GMA
+// harnesses started metering server-ingress wire_bytes — previously the
+// column was a constant 0 for these scenarios; every other field is
+// unchanged from the seed recording.)
+constexpr std::uint64_t kGoldenNarada = 5569179624596317302ULL;
+constexpr std::uint64_t kGoldenRgma = 1694523157429512404ULL;
 
 TEST(KernelDeterminism, NaradaGoldenHashJobs1) {
   EXPECT_EQ(campaign_hash("narada/comparison/80", 1), kGoldenNarada);

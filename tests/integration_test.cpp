@@ -10,7 +10,7 @@ namespace {
 
 NaradaConfig quick_narada(int generators, std::uint64_t seed = 1) {
   NaradaConfig config;
-  config.generators = generators;
+  config.fleet.generators = generators;
   config.duration = units::minutes(2);
   config.seed = seed;
   return config;
@@ -18,7 +18,7 @@ NaradaConfig quick_narada(int generators, std::uint64_t seed = 1) {
 
 RgmaConfig quick_rgma(int producers, std::uint64_t seed = 1) {
   RgmaConfig config;
-  config.producers = producers;
+  config.fleet.generators = producers;
   config.duration = units::minutes(2);
   config.seed = seed;
   return config;
@@ -110,8 +110,8 @@ TEST(RgmaExperiment, ProcessTimeDominates) {
 
 TEST(RgmaExperiment, NoWarmupLosesFirstTuples) {
   RgmaConfig config = quick_rgma(60);
-  config.warmup_min = 0;
-  config.warmup_max = 0;
+  config.fleet.warmup_min = 0;
+  config.fleet.warmup_max = 0;
   const Results results = run_rgma_experiment(config);
   EXPECT_GT(results.metrics.sent(), 0u);
   const double loss = results.metrics.loss_rate();

@@ -93,7 +93,7 @@ namespace {
 
 NaradaConfig workload() {
   NaradaConfig config;
-  config.generators = 60;
+  config.fleet.generators = 60;
   config.duration = units::minutes(1);
   config.seed = 7;
   return config;
@@ -154,7 +154,7 @@ TEST(MemProfExperiment, ProfilingDoesNotPerturbTheModel) {
 
 TEST(MemProfExperiment, RgmaRunsCountTupleStores) {
   RgmaConfig config;
-  config.producers = 40;
+  config.fleet.generators = 40;
   config.duration = units::minutes(1);
   config.seed = 3;
   config.obs.enabled = true;

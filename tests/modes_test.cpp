@@ -12,14 +12,14 @@ namespace {
 
 core::NaradaConfig quick_narada(int generators) {
   core::NaradaConfig config;
-  config.generators = generators;
+  config.fleet.generators = generators;
   config.duration = units::minutes(2);
   return config;
 }
 
 core::RgmaConfig quick_rgma(int producers) {
   core::RgmaConfig config;
-  config.producers = producers;
+  config.fleet.generators = producers;
   config.duration = units::minutes(2);
   return config;
 }

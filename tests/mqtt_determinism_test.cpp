@@ -1,0 +1,59 @@
+// MQTT campaigns are a pure function of (scenario, duration, seed): the
+// full CSV export — QoS ablations and chaos availability columns alike —
+// is byte-identical whether the campaign runs on one worker thread or
+// four. Pinned with FNV-1a golden hashes recorded at 1 virtual minute,
+// seeds {1, 2}, like the Narada/R-GMA chaos goldens.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/registry.hpp"
+
+namespace gridmon::core {
+namespace {
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string campaign_csv(const char* prefix, int jobs) {
+  CampaignOptions options;
+  options.jobs = jobs;
+  options.seeds = 2;
+  options.duration = units::minutes(1);
+  CampaignRunner runner(options);
+  EXPECT_GT(runner.add_matching(builtin_registry(), prefix), 0);
+  return runner.run().csv();
+}
+
+// Golden hashes recorded from the jobs=1 run at the settings above. If a
+// code change moves these, every MQTT metric moved with it — rerecord only
+// when the shift is understood and intended.
+constexpr std::uint64_t kGoldenQosAblation = 4804366959085942810ULL;
+constexpr std::uint64_t kGoldenBrokerCrash = 10746251863695184341ULL;
+
+TEST(MqttDeterminism, QosAblationByteIdenticalAcrossJobs) {
+  const std::string serial = campaign_csv("mqtt/qos", 1);
+  const std::string parallel = campaign_csv("mqtt/qos", 4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(fnv1a(serial), kGoldenQosAblation)
+      << "actual hash: " << fnv1a(serial);
+}
+
+TEST(MqttDeterminism, ChaosBrokerCrashByteIdenticalAcrossJobs) {
+  const std::string serial = campaign_csv("chaos/mqtt/broker_crash", 1);
+  const std::string parallel = campaign_csv("chaos/mqtt/broker_crash", 4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(fnv1a(serial), kGoldenBrokerCrash)
+      << "actual hash: " << fnv1a(serial);
+}
+
+}  // namespace
+}  // namespace gridmon::core

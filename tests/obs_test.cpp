@@ -253,7 +253,7 @@ TEST(Recorder, MarksTelescopeThroughCompletion) {
 
 core::NaradaConfig small_narada() {
   core::NaradaConfig config;
-  config.generators = 20;
+  config.fleet.generators = 20;
   config.duration = units::minutes(2);
   config.seed = 7;
   return config;
@@ -298,7 +298,7 @@ TEST(ObsIntegration, NaradaSpansTelescopeToPtAggregate) {
 TEST(ObsIntegration, RgmaSpansTelescopeToPtAggregate) {
   GRIDMON_REQUIRE_OBS();
   core::RgmaConfig config;
-  config.producers = 10;
+  config.fleet.generators = 10;
   config.duration = units::minutes(2);
   config.seed = 3;
   config.obs.enabled = true;

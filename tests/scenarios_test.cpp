@@ -27,23 +27,23 @@ TEST(ScenariosTest, ComparisonTestsMatchTableII) {
 
   // Test 5: triple payload, one third the rate — total data unchanged.
   EXPECT_EQ(tests[4].label, "Triple");
-  EXPECT_GT(tests[4].config.pad_bytes, 0);
-  EXPECT_EQ(tests[4].config.publish_period,
-            3 * tests[3].config.publish_period);
+  EXPECT_GT(tests[4].config.fleet.pad_bytes, 0);
+  EXPECT_EQ(tests[4].config.fleet.publish_period,
+            3 * tests[3].config.fleet.publish_period);
 
   // Test 6: a tenth of the connections at ten times the rate.
   EXPECT_EQ(tests[5].label, "80");
-  EXPECT_EQ(tests[5].config.generators, 80);
-  EXPECT_EQ(tests[5].config.publish_period,
-            tests[3].config.publish_period / 10);
+  EXPECT_EQ(tests[5].config.fleet.generators, 80);
+  EXPECT_EQ(tests[5].config.fleet.publish_period,
+            tests[3].config.fleet.publish_period / 10);
 
   for (const auto& test : tests) {
     if (test.label != "80") {
-      EXPECT_EQ(test.config.generators, 800);
+      EXPECT_EQ(test.config.fleet.generators, 800);
     }
-    EXPECT_EQ(test.config.creation_interval, units::milliseconds(500));
-    EXPECT_EQ(test.config.warmup_min, units::seconds(10));
-    EXPECT_EQ(test.config.warmup_max, units::seconds(20));
+    EXPECT_EQ(test.config.fleet.creation_interval, units::milliseconds(500));
+    EXPECT_EQ(test.config.fleet.warmup_min, units::seconds(10));
+    EXPECT_EQ(test.config.fleet.warmup_max, units::seconds(20));
     EXPECT_EQ(test.config.duration, units::minutes(30));
   }
 }
@@ -52,7 +52,7 @@ TEST(ScenariosTest, ComparisonTestsDeliverTheSameTotalData) {
   // The paper equalised total data across tests 4, 5 and 6.
   const auto tests = narada_comparison_tests();
   auto messages = [](const NaradaConfig& c) {
-    return c.generators * (c.duration / c.publish_period);
+    return c.fleet.generators * (c.duration / c.fleet.publish_period);
   };
   const auto tcp = tests[3].config;
   const auto triple = tests[4].config;
@@ -64,7 +64,7 @@ TEST(ScenariosTest, ComparisonTestsDeliverTheSameTotalData) {
 
 TEST(ScenariosTest, NaradaDeployments) {
   const auto single = narada_single(2000);
-  EXPECT_EQ(single.generators, 2000);
+  EXPECT_EQ(single.fleet.generators, 2000);
   EXPECT_EQ(single.broker_hosts, (std::vector<int>{0}));
   EXPECT_FALSE(single.subscription_aware_routing);
 
@@ -74,10 +74,10 @@ TEST(ScenariosTest, NaradaDeployments) {
 
 TEST(ScenariosTest, RgmaDeploymentsMatchSectionIIIF) {
   const auto single = rgma_single(400);
-  EXPECT_EQ(single.producers, 400);
+  EXPECT_EQ(single.fleet.generators, 400);
   EXPECT_FALSE(single.distributed);
-  EXPECT_EQ(single.creation_interval, units::seconds(1));
-  EXPECT_EQ(single.publish_period, units::seconds(10));
+  EXPECT_EQ(single.fleet.creation_interval, units::seconds(1));
+  EXPECT_EQ(single.fleet.publish_period, units::seconds(10));
   EXPECT_EQ(single.poll_period, units::milliseconds(100));
 
   const auto distributed = rgma_distributed(1000);
@@ -88,8 +88,8 @@ TEST(ScenariosTest, RgmaDeploymentsMatchSectionIIIF) {
   EXPECT_EQ(secondary.secondary_delay, units::seconds(30));
 
   const auto no_warmup = rgma_no_warmup();
-  EXPECT_EQ(no_warmup.producers, 400);
-  EXPECT_EQ(no_warmup.warmup_max, 0);
+  EXPECT_EQ(no_warmup.fleet.generators, 400);
+  EXPECT_EQ(no_warmup.fleet.warmup_max, 0);
 }
 
 TEST(ScenariosTest, FactoriesDefaultToThePapersThirtyMinutes) {
