@@ -206,6 +206,7 @@ Results run_mqtt_experiment(const MqttConfig& config) {
       timeline.gauge("mem_client_records");
       timeline.gauge("mem_net_connections");
       timeline.gauge("mem_kernel_slab");
+      timeline.gauge("mem_sub_index");
       timeline.gauge("mem_total");
     }
   }
@@ -344,6 +345,9 @@ Results run_mqtt_experiment(const MqttConfig& config) {
         timeline.gauge("mem_kernel_slab")
             .set(static_cast<double>(
                 prof->live(obs::MemCategory::kKernelSlab)));
+        timeline.gauge("mem_sub_index")
+            .set(static_cast<double>(
+                prof->live(obs::MemCategory::kMqttSubIndex)));
         timeline.gauge("mem_total")
             .set(static_cast<double>(prof->live_total()));
       }

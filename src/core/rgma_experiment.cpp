@@ -301,6 +301,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
       timeline.gauge("mem_rgma_tuples");
       timeline.gauge("mem_net_connections");
       timeline.gauge("mem_kernel_slab");
+      timeline.gauge("mem_predicate_cache");
       timeline.gauge("mem_total");
     }
   }
@@ -490,6 +491,9 @@ Results run_rgma_experiment(const RgmaConfig& config) {
         timeline.gauge("mem_kernel_slab")
             .set(static_cast<double>(
                 prof->live(obs::MemCategory::kKernelSlab)));
+        timeline.gauge("mem_predicate_cache")
+            .set(static_cast<double>(
+                prof->live(obs::MemCategory::kPredicateCache)));
         timeline.gauge("mem_total")
             .set(static_cast<double>(prof->live_total()));
       }

@@ -90,6 +90,7 @@ void MqttBroker::crash() {
     }
   }
   sessions_.clear();
+  sub_index_.clear();
   for (const auto& [topic, packet] : retained_) {
     obs::mem_sub(obs::MemCategory::kBrokerRouting, parked_footprint(packet));
   }
@@ -278,6 +279,9 @@ void MqttBroker::on_session_packet(const std::string& client_id,
         obs::mem_add(obs::MemCategory::kBrokerRouting,
                      subscription_footprint(packet->topic));
       }
+      // Keep the trie in lockstep (updates the grant on resubscribe).
+      sub_index_.subscribe(packet->topic, session.client_id, &session,
+                           granted);
       reply(session, PacketType::kSubAck, packet->packet_id);
       replay_retained(session, packet->topic, granted);
       break;
@@ -365,16 +369,10 @@ void MqttBroker::ingest_publish(const PacketPtr& packet) {
   if (packet->retain) store_retained(packet);
 
   // Fan-out is part of the service demand: count matching subscriptions
-  // first (the filter walk the event loop really performs).
-  int fanout = 0;
-  for (const auto& [id, session] : sessions_) {
-    for (const auto& [filter, qos] : session.subscriptions) {
-      if (topic_matches(filter, packet->topic)) {
-        ++fanout;
-        break;
-      }
-    }
-  }
+  // first. One trie walk replaces the per-session filter scan the event
+  // loop used to perform; the counted demand model is unchanged.
+  sub_index_.match(packet->topic, match_scratch_);
+  const int fanout = static_cast<int>(match_scratch_.size());
   const std::int64_t bytes = packet_wire_size(*packet);
   // In-flight publishes hold heap until dispatched (degrades, not refuses).
   const std::int64_t transient = bytes * 2;
@@ -384,13 +382,19 @@ void MqttBroker::ingest_publish(const PacketPtr& packet) {
         mark_packet(packet, "match_fanout");
         host_.heap().release(transient);
         if (crashed_) return;
-        for (auto& [id, session] : sessions_) {
-          for (const auto& [filter, granted] : session.subscriptions) {
-            if (!topic_matches(filter, packet->topic)) continue;
-            deliver(session, granted, packet, /*retained_replay=*/false);
-            break;  // one delivery per session, at its best-matching grant
-          }
+        // Re-match at dispatch: sessions may have come or gone during the
+        // service delay (the old code re-walked the table here too). Take
+        // the results out of the scratch vector so a re-entrant publish
+        // (e.g. a will) cannot clobber them mid-loop.
+        sub_index_.match(packet->topic, match_scratch_);
+        std::vector<SubscriptionIndex::Match> matches;
+        matches.swap(match_scratch_);
+        for (const auto& m : matches) {
+          // One delivery per session, at its best-matching grant.
+          deliver(*static_cast<Session*>(m.handle), m.qos, packet,
+                  /*retained_replay=*/false);
         }
+        match_scratch_ = std::move(matches);
       });
 }
 
@@ -505,6 +509,7 @@ void MqttBroker::erase_session(const std::string& client_id) {
   for (const auto& [filter, qos] : session.subscriptions) {
     obs::mem_sub(obs::MemCategory::kBrokerRouting,
                  subscription_footprint(filter));
+    sub_index_.remove(filter, &session);
   }
   for (const auto& [pid, parked] : session.inbound_qos2) {
     obs::mem_sub(obs::MemCategory::kBrokerRouting, parked_footprint(parked));

@@ -35,6 +35,7 @@
 
 #include "cluster/host.hpp"
 #include "mqtt/packets.hpp"
+#include "mqtt/sub_index.hpp"
 #include "net/lan.hpp"
 #include "net/stream.hpp"
 
@@ -164,6 +165,12 @@ class MqttBroker {
   /// Sessions keyed by client id (ordered, so sweeps and fan-out walk the
   /// table deterministically). Map nodes are stable across other inserts.
   std::map<std::string, Session> sessions_;
+  /// Topic trie over every session's filters: one walk per publish instead
+  /// of a filter scan per session. Kept in lockstep with the
+  /// session subscription lists (subscribe / erase_session / crash).
+  SubscriptionIndex sub_index_;
+  /// Match-result scratch, reused across publishes.
+  std::vector<SubscriptionIndex::Match> match_scratch_;
   /// Latest retained message per topic.
   std::map<std::string, PacketPtr> retained_;
 

@@ -324,11 +324,15 @@ void Broker::ingest_publish(const FramePtr& frame) {
 
 void Broker::deliver_local(const jms::MessagePtr& message,
                            const std::string& topic, bool is_queue) {
+  // Zero-copy fan-out: one immutable frame shared by every local delivery.
+  // Clients consuming a kDeliver read only kind/topic/message (acking is
+  // governed by their own mode), and the wire size is field-independent,
+  // so the per-subscriber Frame allocation was pure overhead.
+  auto deliver = std::make_shared<const Frame>(
+      Frame{FrameKind::kDeliver, topic, {}, jms::AcknowledgeMode::kAutoAcknowledge,
+            0, message, -1, -1, {}});
+  const std::int64_t wire = frame_wire_size(*deliver);
   auto send_to = [&](const Subscription& sub) {
-    auto deliver = std::make_shared<const Frame>(Frame{
-        FrameKind::kDeliver, topic, {}, sub.ack_mode, sub.id, message, -1, -1,
-        {}});
-    const std::int64_t wire = frame_wire_size(*deliver);
     if (sub.via_udp) {
       lan_.send_datagram(config_.endpoint, sub.udp, wire, deliver);
     } else if (sub.conn && sub.conn->open()) {
@@ -382,10 +386,12 @@ void Broker::disseminate(const FramePtr& frame) {
     // v1.1.3 behaviour: broadcast the event to every peer, whether or not a
     // subscriber lives there (the deficiency the paper observed as
     // "unnecessary data flow between nodes"). Each extra copy costs the
-    // origin broker serialisation CPU and link bandwidth.
+    // origin broker serialisation CPU and link bandwidth — but the frame
+    // itself is identical for every peer, so one shared instance fans out.
+    const FramePtr broadcast = make_forward(-1);
     for (const Peer& peer : peers_) {
       host_.cpu().charge(host_.loaded(copy_cost, costs::kThreadLoadFactor));
-      send_to_peer(peer.id, make_forward(-1));
+      send_to_peer(peer.id, broadcast);
     }
     return;
   }

@@ -14,6 +14,10 @@ std::string_view to_string(MemCategory category) {
       return "rgma_tuples";
     case MemCategory::kKernelSlab:
       return "kernel_slab";
+    case MemCategory::kMqttSubIndex:
+      return "sub_index";
+    case MemCategory::kPredicateCache:
+      return "predicate_cache";
   }
   return "unknown";
 }
@@ -30,6 +34,10 @@ std::string_view gauge_name(MemCategory category) {
       return "mem_rgma_tuples";
     case MemCategory::kKernelSlab:
       return "mem_kernel_slab";
+    case MemCategory::kMqttSubIndex:
+      return "mem_sub_index";
+    case MemCategory::kPredicateCache:
+      return "mem_predicate_cache";
   }
   return "mem_unknown";
 }

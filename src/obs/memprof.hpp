@@ -38,8 +38,10 @@ enum class MemCategory : std::uint8_t {
   kNetConnections,     ///< stream-transport connection state (both ends)
   kRgmaTuples,         ///< R-GMA tuple stores (producer + consumer side)
   kKernelSlab,         ///< DES kernel event-node slab (via KernelStats)
+  kMqttSubIndex,       ///< MQTT broker subscription trie (nodes + entries)
+  kPredicateCache,     ///< compiled SQL predicates (producer + consumer side)
 };
-inline constexpr std::size_t kMemCategoryCount = 5;
+inline constexpr std::size_t kMemCategoryCount = 7;
 
 /// Short label ("broker_routing", ...) for tables and docs.
 [[nodiscard]] std::string_view to_string(MemCategory category);

@@ -84,6 +84,8 @@ void ConsumerService::crash() {
     if (consumer.buffered_bytes > 0) {
       servlet_.host().heap().release(consumer.buffered_bytes);
     }
+    obs::mem_sub(obs::MemCategory::kPredicateCache,
+                 consumer.compiled.footprint_bytes());
   }
   consumers_.clear();
   incoming_.clear();
@@ -199,6 +201,12 @@ void ConsumerService::handle_create(const CreateConsumerRequest& req,
     state.table = select->table;
     state.query = req.query;
     state.predicate = select->where;
+    // Lower the WHERE clause once; the evaluation cycle runs the compiled
+    // program against every queued tuple.
+    state.compiled = sql::CompiledPredicate::compile(state.predicate,
+                                                     tables_.at(state.table));
+    obs::mem_add(obs::MemCategory::kPredicateCache,
+                 state.compiled.footprint_bytes());
     state.columns = select->columns;
     consumers_.emplace(req.consumer_id, std::move(state));
     ++stats_.consumers_created;
@@ -226,17 +234,13 @@ void ConsumerService::handle_batch(const StreamBatch& batch) {
     // they arrive, with only per-tuple matching cost — no evaluation-cycle
     // wait. This is why related work [11] saw far better latency from the
     // old API than the paper measured on the new one.
-    const auto table_it = tables_.find(batch.table);
-    if (table_it == tables_.end()) return;
+    if (!tables_.contains(batch.table)) return;
     for (const auto& tuple : batch.tuples) {
       servlet_.charge(costs::kConsumerTupleCost);
       bool matched = false;
       for (auto& [id, consumer] : consumers_) {
         if (consumer.table != batch.table) continue;
-        if (!sql::predicate_selects(consumer.predicate, table_it->second,
-                                    tuple.values)) {
-          continue;
-        }
+        if (!consumer.compiled.selects(tuple.values)) continue;
         consumer.buffer.push_back(tuple);
         const std::int64_t bytes = tuple.wire_size();
         consumer.buffered_bytes += bytes;
@@ -254,9 +258,10 @@ void ConsumerService::handle_batch(const StreamBatch& batch) {
   }
 
   for (const auto& tuple : batch.tuples) mark_tuple(tuple.values, "cs_queue");
-  queued_bytes_ += batch.wire_size();
-  obs::mem_add(obs::MemCategory::kRgmaTuples, batch.wire_size());
-  (void)servlet_.host().heap().allocate(batch.wire_size());
+  const std::int64_t batch_bytes = batch.wire_size();
+  queued_bytes_ += batch_bytes;
+  obs::mem_add(obs::MemCategory::kRgmaTuples, batch_bytes);
+  (void)servlet_.host().heap().allocate(batch_bytes);
   incoming_.push_back(batch);
 }
 
@@ -281,17 +286,12 @@ void ConsumerService::evaluation_cycle() {
       servlet_.host().loaded(sweep, costs::kServletThreadLoadFactor);
   servlet_.host().cpu().execute(demand, [this, work = std::move(work)] {
     for (const auto& batch : work) {
-      const auto table_it = tables_.find(batch.table);
-      if (table_it == tables_.end()) continue;
-      const TableDef& table = table_it->second;
+      if (!tables_.contains(batch.table)) continue;
       for (const auto& tuple : batch.tuples) {
         bool matched = false;
         for (auto& [id, consumer] : consumers_) {
           if (consumer.table != batch.table) continue;
-          if (!sql::predicate_selects(consumer.predicate, table,
-                                      tuple.values)) {
-            continue;
-          }
+          if (!consumer.compiled.selects(tuple.values)) continue;
           consumer.buffer.push_back(tuple);
           const std::int64_t bytes = tuple.wire_size();
           consumer.buffered_bytes += bytes;

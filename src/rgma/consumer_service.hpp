@@ -20,6 +20,7 @@
 #include "net/http.hpp"
 #include "rgma/servlet.hpp"
 #include "rgma/sql_ast.hpp"
+#include "rgma/sql_compile.hpp"
 #include "rgma/wire.hpp"
 #include "sim/simulation.hpp"
 
@@ -75,6 +76,9 @@ class ConsumerService {
     std::string table;
     std::string query;  ///< original SELECT text (re-sent on renewal)
     sql::ExprPtr predicate;
+    /// The predicate lowered once against the consumer's table, so the
+    /// evaluation cycle runs a flat program instead of re-walking the AST.
+    sql::CompiledPredicate compiled;
     std::vector<std::string> columns;  ///< empty = *
     std::vector<Tuple> buffer;
     std::int64_t buffered_bytes = 0;

@@ -1,5 +1,6 @@
 #include "rgma/producer_service.hpp"
 
+#include "obs/memprof.hpp"
 #include "obs/recorder.hpp"
 #include "rgma/sql_eval.hpp"
 #include "rgma/sql_parser.hpp"
@@ -95,6 +96,10 @@ void ProducerService::crash() {
     if (producer.stored_bytes > 0) {
       servlet_.host().heap().release(producer.stored_bytes);
     }
+    for (const Attachment& attachment : producer.consumers) {
+      obs::mem_sub(obs::MemCategory::kPredicateCache,
+                   attachment.compiled.footprint_bytes());
+    }
   }
   producers_.clear();
   GRIDMON_WARN("rgma.producer") << "producer container crashed";
@@ -116,6 +121,24 @@ void ProducerService::handle(const net::HttpRequest& request,
     respond(std::move(resp));
     return;
   }
+  // Inserts dominate; test for them first so the hot path pays one any_cast.
+  // Their extra CPU covers SQL parsing + storage.
+  if (const auto* insert = std::any_cast<std::shared_ptr<const InsertRequest>>(
+          &request.body)) {
+    const auto req = *insert;
+    servlet_.service(costs::kInsertProcessingCost,
+                     [this, req, respond = std::move(respond)] {
+                       net::HttpResponse resp;
+                       auto status = std::make_shared<StatusResponse>();
+                       handle_insert(*req, *status);
+                       if (!status->ok) resp.status = 400;
+                       resp.body_bytes = 32;
+                       resp.body = std::shared_ptr<const StatusResponse>(status);
+                       respond(std::move(resp));
+                     });
+    return;
+  }
+
   // Attach notices come from the registry's mediator, not a client thread.
   if (const auto* attach =
           std::any_cast<std::shared_ptr<const AttachConsumerNotice>>(
@@ -150,11 +173,16 @@ void ProducerService::handle(const net::HttpRequest& request,
         if (!req->predicate.empty()) {
           predicate = sql::parse_predicate(req->predicate);
         }
+        // Compile once per request: history scans evaluate the predicate
+        // against every retained tuple.
+        sql::CompiledPredicate compiled;
+        if (table_it != tables_.end()) {
+          compiled = sql::CompiledPredicate::compile(predicate,
+                                                     table_it->second);
+        }
         for (auto& tuple : candidates) {
           servlet_.charge(units::microseconds(30));
-          if (table_it == tables_.end() ||
-              sql::predicate_selects(predicate, table_it->second,
-                                     tuple.values)) {
+          if (table_it == tables_.end() || compiled.selects(tuple.values)) {
             payload->tuples.push_back(std::move(tuple));
           }
         }
@@ -167,31 +195,23 @@ void ProducerService::handle(const net::HttpRequest& request,
     return;
   }
 
-  // Inserts dominate; their extra CPU covers SQL parsing + storage.
-  SimTime extra = units::microseconds(150);
-  if (std::any_cast<std::shared_ptr<const InsertRequest>>(&request.body)) {
-    extra = costs::kInsertProcessingCost;
-  }
-  servlet_.service(extra, [this, request, respond = std::move(respond)] {
-    net::HttpResponse resp;
-    auto status = std::make_shared<StatusResponse>();
-    if (const auto* create =
-            std::any_cast<std::shared_ptr<const CreateProducerRequest>>(
-                &request.body)) {
-      handle_create(**create, *status);
-    } else if (const auto* insert =
-                   std::any_cast<std::shared_ptr<const InsertRequest>>(
-                       &request.body)) {
-      handle_insert(**insert, *status);
-    } else {
-      status->ok = false;
-      status->error = "unknown producer request";
-    }
-    if (!status->ok) resp.status = 400;
-    resp.body_bytes = 32;
-    resp.body = std::shared_ptr<const StatusResponse>(status);
-    respond(std::move(resp));
-  });
+  servlet_.service(units::microseconds(150),
+                   [this, request, respond = std::move(respond)] {
+                     net::HttpResponse resp;
+                     auto status = std::make_shared<StatusResponse>();
+                     if (const auto* create = std::any_cast<
+                             std::shared_ptr<const CreateProducerRequest>>(
+                             &request.body)) {
+                       handle_create(**create, *status);
+                     } else {
+                       status->ok = false;
+                       status->error = "unknown producer request";
+                     }
+                     if (!status->ok) resp.status = 400;
+                     resp.body_bytes = 32;
+                     resp.body = std::shared_ptr<const StatusResponse>(status);
+                     respond(std::move(resp));
+                   });
 }
 
 void ProducerService::handle_create(const CreateProducerRequest& req,
@@ -288,6 +308,12 @@ void ProducerService::handle_attach(const AttachConsumerNotice& notice) {
   if (!notice.predicate.empty()) {
     attachment.predicate = sql::parse_predicate(notice.predicate);
   }
+  // Lower the push-down filter once; the stream cycle evaluates the
+  // compiled program against every fresh tuple.
+  attachment.compiled = sql::CompiledPredicate::compile(
+      attachment.predicate, tables_.at(producer.table));
+  obs::mem_add(obs::MemCategory::kPredicateCache,
+               attachment.compiled.footprint_bytes());
   // Continuous queries see only tuples inserted from now on; anything
   // already stored predates the plan and is lost to the stream (the
   // warm-up data-loss mechanism the paper measured at 0.17 %).
@@ -310,19 +336,16 @@ void ProducerService::stream_cycle() {
     }
 
     if (producer.consumers.empty()) continue;
-    const TableDef& table = tables_.at(producer.table);
     for (auto& attachment : producer.consumers) {
-      std::vector<Tuple> fresh = producer.store.since(attachment.cursor);
-      if (fresh.empty()) continue;
-      // Predicate push-down: filter producer-side before shipping.
+      // Predicate push-down: filter producer-side before shipping. The
+      // in-place scan copies only the selected tuples.
       std::vector<Tuple> shipped;
-      shipped.reserve(fresh.size());
-      for (auto& tuple : fresh) {
+      producer.store.scan_since(attachment.cursor, [&](const Tuple& tuple) {
         servlet_.charge(units::microseconds(40));
-        if (sql::predicate_selects(attachment.predicate, table, tuple.values)) {
-          shipped.push_back(std::move(tuple));
+        if (attachment.compiled.selects(tuple.values)) {
+          shipped.push_back(tuple);
         }
-      }
+      });
       if (shipped.empty()) continue;
       stats_.tuples_streamed += shipped.size();
       ++stats_.batches_sent;

@@ -19,6 +19,7 @@
 #include "net/http.hpp"
 #include "rgma/servlet.hpp"
 #include "rgma/sql_ast.hpp"
+#include "rgma/sql_compile.hpp"
 #include "rgma/storage.hpp"
 #include "rgma/wire.hpp"
 #include "sim/simulation.hpp"
@@ -66,6 +67,9 @@ class ProducerService {
     int consumer_id = 0;
     net::Endpoint consumer_service;
     sql::ExprPtr predicate;  ///< push-down filter (null = all rows)
+    /// The predicate lowered once against the producer's table, so the
+    /// streaming cycle evaluates a flat program instead of the AST.
+    sql::CompiledPredicate compiled;
     std::uint64_t cursor = 0;
   };
   struct ProducerState {

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <optional>
 #include <unordered_map>
 
 namespace gridmon::rgma::sql {
@@ -522,9 +523,140 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+/// Fast path for the canonical statement shape render_insert produces:
+/// `INSERT INTO <table> VALUES (<literal>, ...)`. Every monitoring tuple
+/// arrives in this shape, so it is the dominant parse on the producer hot
+/// path; a single left-to-right scan avoids materializing the token
+/// vector. Any deviation — column lists, keyword-colliding table names,
+/// malformed input, out-of-range integers — returns nullopt and the
+/// caller falls back to the general parser, whose error reporting stays
+/// authoritative.
+std::optional<Insert> fast_parse_insert(std::string_view src) {
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto skip_ws = [&] {
+    while (i < n && std::isspace(static_cast<unsigned char>(src[i]))) ++i;
+  };
+  auto is_word_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  // Case-insensitive full-word keyword match (`kw` must be upper-case).
+  auto word = [&](std::string_view kw) {
+    skip_ws();
+    if (n - i < kw.size()) return false;
+    for (std::size_t k = 0; k < kw.size(); ++k) {
+      if (std::toupper(static_cast<unsigned char>(src[i + k])) != kw[k]) {
+        return false;
+      }
+    }
+    if (i + kw.size() < n && is_word_char(src[i + kw.size()])) return false;
+    i += kw.size();
+    return true;
+  };
+
+  if (!word("INSERT") || !word("INTO")) return std::nullopt;
+  skip_ws();
+  if (i >= n || !(std::isalpha(static_cast<unsigned char>(src[i])) ||
+                  src[i] == '_')) {
+    return std::nullopt;
+  }
+  const std::size_t table_start = i;
+  while (i < n && is_word_char(src[i])) ++i;
+  std::string table(src.substr(table_start, i - table_start));
+  if (keywords().contains(upper(table))) return std::nullopt;
+  if (!word("VALUES")) return std::nullopt;
+  skip_ws();
+  if (i >= n || src[i] != '(') return std::nullopt;
+  ++i;
+
+  Insert stmt;
+  stmt.table = std::move(table);
+  for (;;) {
+    skip_ws();
+    bool negate = false;
+    if (i < n && src[i] == '-') {
+      negate = true;
+      ++i;
+      skip_ws();
+    }
+    if (i >= n) return std::nullopt;
+    const char c = src[i];
+    if (c == '\'') {
+      if (negate) return std::nullopt;
+      std::string text;
+      std::size_t j = i + 1;
+      for (;;) {
+        if (j >= n) return std::nullopt;
+        if (src[j] == '\'') {
+          if (j + 1 < n && src[j + 1] == '\'') {
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          ++j;
+          break;
+        }
+        text += src[j];
+        ++j;
+      }
+      i = j;
+      stmt.values.emplace_back(std::move(text));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Same number scan as tokenize(): digits [. digits] [eE [+-] digits].
+      std::size_t j = i;
+      bool is_double = false;
+      auto digits = [&] {
+        while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      };
+      digits();
+      if (j < n && src[j] == '.') {
+        is_double = true;
+        ++j;
+        digits();
+      }
+      if (j < n && (src[j] == 'e' || src[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (src[k] == '+' || src[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) {
+          is_double = true;
+          j = k;
+          digits();
+        }
+      }
+      if (is_double) {
+        const double d = std::stod(std::string(src.substr(i, j - i)));
+        stmt.values.emplace_back(negate ? -d : d);
+      } else {
+        std::int64_t v = 0;
+        const auto res = std::from_chars(src.data() + i, src.data() + j, v);
+        if (res.ec != std::errc{}) return std::nullopt;
+        stmt.values.emplace_back(negate ? -v : v);
+      }
+      i = j;
+    } else if (word("NULL")) {
+      if (negate) return std::nullopt;
+      stmt.values.emplace_back(SqlNull{});
+    } else {
+      return std::nullopt;
+    }
+    skip_ws();
+    if (i < n && src[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= n || src[i] != ')') return std::nullopt;
+  ++i;
+  skip_ws();
+  if (i != n) return std::nullopt;
+  return stmt;
+}
+
 }  // namespace
 
 Statement parse_statement(std::string_view source) {
+  if (auto insert = fast_parse_insert(source)) return std::move(*insert);
   Parser parser(tokenize(source));
   return parser.statement();
 }

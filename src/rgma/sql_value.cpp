@@ -1,9 +1,9 @@
 #include "rgma/sql_value.hpp"
 
-#include <iomanip>
+#include <charconv>
 #include <limits>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace gridmon::rgma {
 
@@ -34,10 +34,16 @@ std::string sql_to_string(const SqlValue& v) {
     std::string operator()(double d) const {
       // Shortest representation that round-trips exactly, so INSERT
       // statements rendered by the API reproduce the original value.
-      std::ostringstream out;
-      out << std::setprecision(std::numeric_limits<double>::max_digits10)
-          << d;
-      std::string text = out.str();
+      // to_chars with %g-style formatting at max_digits10 produces the
+      // same text as the iostream path it replaced, without the
+      // ostringstream construction cost that dominated insert rendering.
+      char buf[40];
+      const auto [end, ec] =
+          std::to_chars(buf, buf + sizeof(buf), d,
+                        std::chars_format::general,
+                        std::numeric_limits<double>::max_digits10);
+      std::string text(buf, end);
+      (void)ec;  // 40 bytes always fit a %.17g double
       // Keep the value typed: "2262" would parse back as an integer.
       if (text.find_first_of(".eE") == std::string::npos &&
           text.find("inf") == std::string::npos &&

@@ -41,7 +41,7 @@ std::uint64_t TupleStore::insert(Tuple tuple, SimTime now) {
   const std::int64_t size = tuple.wire_size();
   bytes_ += size;
   obs::mem_add(obs::MemCategory::kRgmaTuples, size);
-  tuples_.push_back(Stored{std::move(tuple), seq});
+  tuples_.push_back(Stored{std::move(tuple), seq, size});
   return seq;
 }
 
@@ -49,7 +49,7 @@ std::int64_t TupleStore::prune(SimTime now) {
   const SimTime cutoff = now - config_.history_retention;
   std::int64_t freed = 0;
   while (!tuples_.empty() && tuples_.front().tuple.inserted_at < cutoff) {
-    freed += tuples_.front().tuple.wire_size();
+    freed += tuples_.front().bytes;
     tuples_.pop_front();
   }
   bytes_ -= freed;

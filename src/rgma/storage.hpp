@@ -47,6 +47,28 @@ class TupleStore {
   /// first; updates `cursor`.
   [[nodiscard]] std::vector<Tuple> since(std::uint64_t& cursor) const;
 
+  /// Zero-copy variant of since(): visit tuples with sequence > `cursor`
+  /// oldest-first in place, advancing `cursor`. The streaming cycle copies
+  /// only the tuples its predicate selects instead of materializing every
+  /// fresh tuple first.
+  template <typename Fn>
+  void scan_since(std::uint64_t& cursor, Fn&& fn) const {
+    std::size_t lo = 0;
+    std::size_t hi = tuples_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (tuples_[mid].seq > cursor) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    for (std::size_t i = lo; i < tuples_.size(); ++i) {
+      fn(tuples_[i].tuple);
+      cursor = tuples_[i].seq;
+    }
+  }
+
   /// History query: all retained tuples matching nothing more than the
   /// retention window (predicates evaluate upstream).
   [[nodiscard]] std::vector<Tuple> history(SimTime now) const;
@@ -65,6 +87,7 @@ class TupleStore {
   struct Stored {
     Tuple tuple;
     std::uint64_t seq;
+    std::int64_t bytes;  ///< wire size, computed once at insert
   };
 
   void release_accounting();

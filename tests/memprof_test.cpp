@@ -46,6 +46,21 @@ TEST(MemProfile, PeakTotalIsPeakOfSumNotSumOfPeaks) {
   EXPECT_EQ(summary.peak_total, 100);
 }
 
+TEST(MemProfile, DataPlaneCategoryNames) {
+  EXPECT_EQ(to_string(MemCategory::kMqttSubIndex), "sub_index");
+  EXPECT_EQ(gauge_name(MemCategory::kMqttSubIndex), "mem_sub_index");
+  EXPECT_EQ(to_string(MemCategory::kPredicateCache), "predicate_cache");
+  EXPECT_EQ(gauge_name(MemCategory::kPredicateCache), "mem_predicate_cache");
+  // Every category has distinct labels (the CSV/JSON breakdowns iterate
+  // the enum).
+  for (std::size_t i = 0; i < kMemCategoryCount; ++i) {
+    for (std::size_t j = i + 1; j < kMemCategoryCount; ++j) {
+      EXPECT_NE(to_string(static_cast<MemCategory>(i)),
+                to_string(static_cast<MemCategory>(j)));
+    }
+  }
+}
+
 TEST(MemProfile, HooksAreNoOpsWithoutInstalledProfile) {
   EXPECT_EQ(memprof(), nullptr);
   mem_add(MemCategory::kNetConnections, 1 << 20);  // must not crash
@@ -163,6 +178,30 @@ TEST(MemProfExperiment, RgmaRunsCountTupleStores) {
   ASSERT_TRUE(results.mem.enabled);
   EXPECT_GT(results.mem.peak_at(obs::MemCategory::kRgmaTuples), 0);
   EXPECT_GT(results.mem.peak_at(obs::MemCategory::kKernelSlab), 0);
+  // Compiled predicates (producer attachments + consumer registrations)
+  // show up in the breakdown and as a timeline gauge.
+  EXPECT_GT(results.mem.peak_at(obs::MemCategory::kPredicateCache), 0);
+  ASSERT_TRUE(results.obs != nullptr);
+  const auto& columns = results.obs->columns;
+  EXPECT_NE(std::find(columns.begin(), columns.end(), "mem_predicate_cache"),
+            columns.end());
+}
+
+TEST(MemProfExperiment, MqttRunsCountSubscriptionIndex) {
+  MqttConfig config;
+  config.fleet.generators = 40;
+  config.duration = units::minutes(1);
+  config.seed = 3;
+  config.obs.enabled = true;
+  config.obs.span_sample_every = 0;
+  const Results results = run_mqtt_experiment(config);
+  ASSERT_TRUE(results.mem.enabled);
+  EXPECT_GT(results.mem.peak_at(obs::MemCategory::kMqttSubIndex), 0);
+  EXPECT_GT(results.mem.peak_at(obs::MemCategory::kBrokerRouting), 0);
+  ASSERT_TRUE(results.obs != nullptr);
+  const auto& columns = results.obs->columns;
+  EXPECT_NE(std::find(columns.begin(), columns.end(), "mem_sub_index"),
+            columns.end());
 }
 
 }  // namespace

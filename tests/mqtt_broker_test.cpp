@@ -308,5 +308,38 @@ TEST_F(MqttFixture, BrokerCrashLosesStateAndClientsRecover) {
   EXPECT_EQ(received, 1);              // post-crash traffic flows again
 }
 
+TEST_F(MqttFixture, OverlappingFiltersDeliverOnceAtBestGrant) {
+  // A session holding several filters that all match one topic gets the
+  // publish exactly once, at the maximum matching grant. The old publish
+  // path delivered at whichever filter the session walk hit first (here
+  // the broad QoS 0 one, subscribed first).
+  auto broker = start_broker();
+  auto sub = make_client(1, 9000, {.client_id = "sub"});
+  auto pub = make_client(2, 9001, {.client_id = "pub"});
+
+  std::vector<int> delivered_qos;
+  sub->connect([&](bool ok) {
+    ASSERT_TRUE(ok);
+    sub->subscribe("powergrid/#", 0, [](const PacketPtr&, SimTime) {});
+    sub->subscribe("powergrid/feeder1/+", 1,
+                   [&](const PacketPtr& packet, SimTime) {
+                     delivered_qos.push_back(packet->qos);
+                   });
+  });
+  pub->connect([&](bool ok) {
+    ASSERT_TRUE(ok);
+    hydra.sim().schedule_at(units::seconds(2), [&pub] {
+      pub->publish("powergrid/feeder1/gen0", 128, /*qos=*/1,
+                   /*retain=*/false, "m0");
+    });
+  });
+  hydra.sim().run_until(units::seconds(10));
+
+  EXPECT_EQ(broker->subscription_count(), 2);
+  ASSERT_EQ(delivered_qos.size(), 1u);  // once, not once per filter
+  EXPECT_EQ(delivered_qos.front(), 1);  // at the best grant, not the first
+  EXPECT_EQ(broker->stats().publishes_delivered, 1u);
+}
+
 }  // namespace
 }  // namespace gridmon::mqtt
