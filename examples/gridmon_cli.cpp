@@ -477,7 +477,7 @@ int cmd_run(int argc, char** argv) {
                                       "refused"};
   if (any_faults) {
     for (const char* h : {"faults", "TTR (ms)", "lost in", "lost post",
-                          "late", "reconnects"}) {
+                          "late", "reconnects", "backfill"}) {
       headers.emplace_back(h);
     }
   }
@@ -500,6 +500,7 @@ int cmd_run(int argc, char** argv) {
       row.push_back(std::to_string(a.delivered_late));
       row.push_back(std::to_string(a.reconnects + a.resubscribes +
                                    a.reregistrations));
+      row.push_back(std::to_string(a.backfill_msgs));
     }
     table.add_row(std::move(row));
   }

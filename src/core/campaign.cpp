@@ -45,6 +45,8 @@ Results Repetitions::pooled() const {
     out.availability.reconnects += run.availability.reconnects;
     out.availability.resubscribes += run.availability.resubscribes;
     out.availability.reregistrations += run.availability.reregistrations;
+    out.availability.backfill_msgs += run.availability.backfill_msgs;
+    out.availability.backfill_bytes += run.availability.backfill_bytes;
     // Per-window TTR pools element-wise worst case, mirroring the scalar
     // time_to_recover_ms max above.
     auto& pooled_ttr = out.availability.ttr_windows_ms;
@@ -93,6 +95,14 @@ void append_row(std::string& out, const RunRecord& run, bool json,
   const auto& m = run.results.metrics;
   const auto& k = run.results.kernel;
   const auto& a = run.results.availability;
+  // Loss that survived the recovery machinery: every row/message the fault
+  // windows claimed and nothing (reconnect, resubscribe, backfill) won back.
+  const double loss_after_recovery_pct =
+      m.sent() > 0 ? 100.0 *
+                         static_cast<double>(a.lost_in_window +
+                                             a.lost_post_window) /
+                         static_cast<double>(m.sent())
+                   : 0.0;
   char buffer[2048];
   if (json) {
     std::snprintf(
@@ -156,6 +166,13 @@ void append_row(std::string& out, const RunRecord& run, bool json,
                   static_cast<long long>(mem.peak_total));
     out += buffer;
     out += ", \"system\": \"" + run.system + "\"";
+    std::snprintf(buffer, sizeof(buffer),
+                  ", \"loss_after_recovery_pct\": %.4f, \"backfill_msgs\": "
+                  "%llu, \"backfill_bytes\": %lld",
+                  loss_after_recovery_pct,
+                  static_cast<unsigned long long>(a.backfill_msgs),
+                  static_cast<long long>(a.backfill_bytes));
+    out += buffer;
     if (mem.enabled) {
       out += ", \"mem_peak_bytes\": {";
       for (std::size_t c = 0; c < obs::kMemCategoryCount; ++c) {
@@ -217,6 +234,12 @@ void append_row(std::string& out, const RunRecord& run, bool json,
     // Backend name (schema v2); appended last like every column addition.
     out += ',';
     out += run.system;
+    // Replication columns (reconnect-backfill PR), appended after `system`
+    // so every older column prefix stays put.
+    std::snprintf(buffer, sizeof(buffer), ",%.4f,%lld",
+                  loss_after_recovery_pct,
+                  static_cast<long long>(a.backfill_bytes));
+    out += buffer;
   }
 }
 
@@ -229,7 +252,8 @@ std::string Campaign::csv() const {
       "events_forwarded,wire_bytes,refused,completed,sim_events,"
       "peak_queue_depth,cb_heap_allocs,handle_allocs,faults,downtime_ms,"
       "ttr_ms,lost_in_window,lost_post_window,late,reconnects,resubscribes,"
-      "reregistrations,slo_pass,slo_worst_burn,peak_model_bytes,system\n";
+      "reregistrations,slo_pass,slo_worst_burn,peak_model_bytes,system,"
+      "loss_after_recovery_pct,backfill_bytes\n";
   for (const auto& run : runs_) {
     append_row(out, run, /*json=*/false);
     out += '\n';

@@ -204,6 +204,143 @@ void register_chaos_scenarios(ScenarioRegistry& reg) {
              "(producers and the query stay dead)",
              config, slo});
   }
+
+  // Half-open registry: the container wedges (accepts requests, burns
+  // servlet time, never answers) instead of dying cleanly. Without a
+  // request timeout the renewal heartbeats would hang forever; with one
+  // they fail fast (408) and retry on the next beat, so the directory
+  // heals as soon as the container un-wedges.
+  {
+    RgmaConfig config = scenarios::rgma_single(400);
+    config.faults.registry_half_open(units::seconds(60), units::seconds(120),
+                                     FaultAnchor::kRunStart);
+    config.registry_ttl = units::seconds(60);
+    config.request_timeout = units::seconds(2);
+    config.fleet.recovery = true;
+    obs::SloSpec slo;
+    slo.max_loss_pct(30.0);
+    reg.add({"chaos/rgma/registry_halfopen/400",
+             "Chaos: registry wedges half-open 60-180 s into the ramp "
+             "(accepts, never answers); 2 s client time-outs rescue the "
+             "renewal heartbeats",
+             config, slo});
+  }
+
+  // --- Replay twins ---------------------------------------------------------
+  //
+  // The reconnect-backfill study: each twin re-runs a recovery scenario
+  // with the replication layer on (tiered retention + gap replay), and is
+  // gated on loss *after* recovery going to ~0 — recovery alone only stops
+  // the bleeding, replay wins the fault-window traffic back.
+
+  // Single-broker crash with backfill. The restarted broker's retention
+  // restarts empty (history dies with the process), but the sequence
+  // journal survives, so reconnecting publishers flush their backlogs into
+  // fresh retention and the subscriber's backfill covers everything that
+  // resumed before its own resubscribe landed.
+  {
+    NaradaConfig config = scenarios::narada_single(800);
+    config.faults.broker_crash(units::seconds(15), 0, units::seconds(10));
+    config.fleet.recovery = true;
+    config.replay.enabled = true;
+    obs::SloSpec slo;
+    slo.max_loss_after_recovery_pct(0.5)
+        .max_ttr_ms(30000.0)
+        .min_availability_pct(55.0);
+    reg.add({"chaos/narada/broker_crash_replay/800",
+             "Replay twin: broker crash + reconnect backfill; loss after "
+             "recovery gated at 0.5%",
+             config, slo});
+  }
+
+  // DBN broker crash with fail-over: clients of the dead broker re-home to
+  // a surviving broker after two failed reconnect attempts and backfill
+  // from its replicated retention — the stream never waits for the restart.
+  {
+    NaradaConfig config = scenarios::narada_dbn(800);
+    config.faults.broker_crash(units::seconds(15), 2, units::seconds(10));
+    config.fleet.recovery = true;
+    config.replay.enabled = true;
+    obs::SloSpec slo;
+    slo.max_loss_after_recovery_pct(0.5).max_ttr_ms(30000.0);
+    reg.add({"chaos/narada/dbn_broker_crash_replay",
+             "Replay twin: one of 4 DBN brokers crashes; its clients "
+             "re-home to survivors and backfill from replicated retention",
+             config, slo});
+  }
+
+  // DBN partition with peer repair: at heal, every broker pulls the frames
+  // it missed from its peers, then the (settled) client backfills find
+  // complete retention wherever they land.
+  {
+    NaradaConfig config = scenarios::narada_dbn(800);
+    config.faults.dbn_partition(units::seconds(15), units::seconds(10));
+    config.fleet.recovery = true;
+    config.replay.enabled = true;
+    obs::SloSpec slo;
+    slo.max_loss_after_recovery_pct(0.5).max_ttr_ms(30000.0);
+    reg.add({"chaos/narada/dbn_partition_replay",
+             "Replay twin: 10 s pub/sub partition; peer backfill repairs "
+             "broker retention at heal, clients replay their gaps",
+             config, slo});
+  }
+
+  // Subscriber NIC flap with gap replay: the connection survives, so no
+  // reconnect fires — the per-origin sequence chain notices the hole on
+  // the first post-flap delivery and pulls the window from broker
+  // retention.
+  {
+    NaradaConfig config = scenarios::narada_single(400);
+    config.faults.nic_down(units::seconds(15), 1, units::seconds(5))
+        .nic_down(units::seconds(40), 1, units::seconds(5));
+    config.fleet.recovery = true;
+    config.replay.enabled = true;
+    obs::SloSpec slo;
+    slo.max_loss_after_recovery_pct(0.5).max_ttr_ms(20000.0);
+    reg.add({"chaos/narada/nic_flap_replay/400",
+             "Replay twin: subscriber NIC flaps 2x5 s; sequence-gap "
+             "detection replays the windows from broker retention",
+             config, slo});
+  }
+
+  // MQTT flapping link with a persistent session: a short keep-alive makes
+  // the broker park the dead subscriber quickly; QoS 1 traffic queues in
+  // the (retention-bounded) offline queue and drains on resume.
+  {
+    MqttConfig config = scenarios::mqtt_single(800, /*qos=*/1);
+    config.fleet.recovery = true;
+    config.clean_session = false;
+    config.keep_alive = units::seconds(2);
+    config.replay.enabled = true;
+    config.faults.nic_down(units::seconds(15), 1, units::seconds(8))
+        .nic_down(units::seconds(45), 1, units::seconds(8))
+        .nic_down(units::seconds(75), 1, units::seconds(8));
+    obs::SloSpec slo;
+    slo.max_loss_after_recovery_pct(0.5).max_ttr_ms(20000.0);
+    reg.add({"chaos/mqtt/flapping_link_replay/800",
+             "Replay twin: uplink flaps 3x8 s against a persistent session; "
+             "the offline queue holds the windows and drains on resume",
+             config, slo});
+  }
+
+  // R-GMA consumer-container restart with history backfill: the re-created
+  // continuous query is preceded by a one-time history query against
+  // producer retention, winning back the poll gap (producer stores
+  // survived, only the consumer side died).
+  {
+    RgmaConfig config = scenarios::rgma_single(200);
+    config.faults.consumer_servlet_restart(units::seconds(15), 0,
+                                           units::seconds(10));
+    config.registry_ttl = units::seconds(60);
+    config.fleet.recovery = true;
+    config.replay.enabled = true;
+    obs::SloSpec slo;
+    slo.max_loss_after_recovery_pct(0.5);
+    reg.add({"chaos/rgma/servlet_restart_replay",
+             "Replay twin: consumer container restarts (10 s); the re-made "
+             "query backfills from producer history retention",
+             config, slo});
+  }
 }
 
 }  // namespace gridmon::core

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/faults.hpp"
+#include "core/history.hpp"
 #include "core/metrics.hpp"
 #include "jms/message.hpp"
 #include "narada/transport.hpp"
@@ -96,6 +97,21 @@ struct FleetConfig {
   double backoff_jitter = 0.2;
 };
 
+/// Reconnect backfill replication (the `_replay` chaos twins). When
+/// enabled, the backend retains recent traffic in a tiered HistoryBuffer
+/// and a reconnecting client replays its gap before resuming the live
+/// stream. Off by default so every recovery-only baseline — and all the
+/// pinned golden hashes — stay byte-identical.
+struct ReplayConfig {
+  bool enabled = false;
+  RetentionConfig retention;
+  /// How long a client lets the live stream settle after reconnect before
+  /// requesting a backfill (batches the gap into one request).
+  SimTime settle = units::milliseconds(500);
+  /// Backfill request retries before giving up on the gap.
+  int max_retries = 2;
+};
+
 // --- NaradaBrokering ---------------------------------------------------------
 
 struct NaradaConfig {
@@ -117,6 +133,10 @@ struct NaradaConfig {
   std::uint64_t seed = 1;
   /// Deterministic fault schedule (empty = the classic fault-free runs).
   FaultPlan faults;
+  /// Reconnect backfill replication (brokers retain published frames;
+  /// reconnecting clients replay their gap, including after failing over
+  /// to a surviving DBN broker).
+  ReplayConfig replay;
   /// Observability (off by default; see obs/recorder.hpp).
   obs::Options obs;
 };
@@ -158,6 +178,16 @@ struct RgmaConfig {
   /// stale entries age out and renewals matter).
   SimTime registry_ttl = 0;
   SimTime consumer_retry = units::seconds(2);
+  /// Client-side HTTP request time-out (0 = wait forever). The half-open
+  /// registry fault only makes progress when this is set: a request the
+  /// registry accepted but never answers fails with 408 after this long.
+  SimTime request_timeout = 0;
+  /// Reconnect backfill: a consumer that lost its continuous query issues
+  /// a one-time history query against producer retention (the paper's own
+  /// latest/history windows) before resuming streaming. Retention tiers
+  /// are governed by the producers' TupleStore config, not
+  /// `replay.retention`.
+  ReplayConfig replay;
   /// Observability (off by default; see obs/recorder.hpp).
   obs::Options obs;
 };
@@ -200,6 +230,11 @@ struct MqttConfig {
   std::uint64_t seed = 1;
   /// Deterministic fault schedule (empty = the classic fault-free runs).
   FaultPlan faults;
+  /// Offline-queue retention for persistent sessions: bounds the QoS 1/2
+  /// parking queue by the tiered policy (drop-oldest, `queue_dropped`
+  /// counter) instead of letting it grow unboundedly. `enabled` here also
+  /// turns the queue bound on.
+  ReplayConfig replay;
   /// Observability (off by default; see obs/recorder.hpp).
   obs::Options obs;
 };

@@ -18,6 +18,7 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kProducerServletRestart: return "producer_servlet_restart";
     case FaultKind::kConsumerServletRestart: return "consumer_servlet_restart";
     case FaultKind::kRegistryExpiry: return "registry_expiry";
+    case FaultKind::kRegistryHalfOpen: return "registry_half_open";
   }
   return "unknown";
 }
@@ -29,7 +30,8 @@ FaultKind kind_from_string(std::string_view name) {
        {FaultKind::kNicDown, FaultKind::kLossBurst, FaultKind::kLinkLoss,
         FaultKind::kDbnPartition, FaultKind::kBrokerCrash,
         FaultKind::kRegistryRestart, FaultKind::kProducerServletRestart,
-        FaultKind::kConsumerServletRestart, FaultKind::kRegistryExpiry}) {
+        FaultKind::kConsumerServletRestart, FaultKind::kRegistryExpiry,
+        FaultKind::kRegistryHalfOpen}) {
     if (to_string(kind) == name) return kind;
   }
   throw std::invalid_argument("unknown fault kind: " + std::string(name));
@@ -97,6 +99,13 @@ FaultPlan& FaultPlan::consumer_servlet_restart(SimTime at, int service,
 
 FaultPlan& FaultPlan::registry_expiry(SimTime at, FaultAnchor anchor) {
   events.push_back({at, FaultKind::kRegistryExpiry, anchor, -1, -1, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::registry_half_open(SimTime at, SimTime outage,
+                                         FaultAnchor anchor) {
+  events.push_back(
+      {at, FaultKind::kRegistryHalfOpen, anchor, -1, -1, outage, 0.0});
   return *this;
 }
 
@@ -215,6 +224,11 @@ void FaultInjector::execute(const FaultEvent& event, bool begin) {
       break;
     case FaultKind::kRegistryExpiry:
       if (begin && hooks_.expire_registrations) hooks_.expire_registrations();
+      break;
+    case FaultKind::kRegistryHalfOpen:
+      if (hooks_.set_registry_half_open) {
+        hooks_.set_registry_half_open(begin);
+      }
       break;
   }
 }

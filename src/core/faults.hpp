@@ -44,6 +44,7 @@ enum class FaultKind {
   kProducerServletRestart,  ///< target = service index (-1 = all)
   kConsumerServletRestart,  ///< target = service index (-1 = all)
   kRegistryExpiry,  ///< force one soft-state expiry sweep immediately
+  kRegistryHalfOpen,  ///< registry accepts connections but never responds
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -97,6 +98,10 @@ struct FaultPlan {
       FaultAnchor anchor = FaultAnchor::kSteady);
   FaultPlan& registry_expiry(SimTime at,
                              FaultAnchor anchor = FaultAnchor::kSteady);
+  /// Half-open outage: the registry accepts requests but never answers
+  /// them, so only client-side time-outs make progress (Chaos v2).
+  FaultPlan& registry_half_open(SimTime at, SimTime outage,
+                                FaultAnchor anchor = FaultAnchor::kRunStart);
 
   /// One event per line: `kind anchor at_ns duration_ns target target2 param`.
   [[nodiscard]] std::string serialise() const;
@@ -121,6 +126,7 @@ struct FaultHooks {
   std::function<void(int broker)> crash_broker;
   std::function<void(int broker)> restart_broker;
   std::function<void(bool down)> set_registry_down;
+  std::function<void(bool half_open)> set_registry_half_open;
   std::function<void(int service, bool down)> set_producer_servlet_down;
   std::function<void(int service, bool down)> set_consumer_servlet_down;
   std::function<void()> expire_registrations;
@@ -174,6 +180,8 @@ struct Availability {
   std::uint64_t reconnects = 0;      ///< client reconnect attempts
   std::uint64_t resubscribes = 0;    ///< subscriptions re-established
   std::uint64_t reregistrations = 0;  ///< R-GMA re-register/redeclare actions
+  std::uint64_t backfill_msgs = 0;   ///< messages replayed from retention
+  std::int64_t backfill_bytes = 0;   ///< wire bytes spent on replay traffic
 };
 
 /// Accumulates recovery timing against a set of outage windows. on_delivery

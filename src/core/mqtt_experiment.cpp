@@ -164,6 +164,7 @@ Results run_mqtt_experiment(const MqttConfig& config) {
   // The broker: one host, one event loop, sessions admitted against heap.
   mqtt::MqttBrokerConfig broker_config;
   broker_config.endpoint = net::Endpoint{config.broker_host, kBrokerPort};
+  broker_config.retention = config.replay.retention;
   mqtt::MqttBroker broker(hydra.host(config.broker_host), hydra.lan(),
                           hydra.streams(), broker_config);
   broker.start();
@@ -208,6 +209,14 @@ Results run_mqtt_experiment(const MqttConfig& config) {
       timeline.gauge("mem_kernel_slab");
       timeline.gauge("mem_sub_index");
       timeline.gauge("mem_total");
+    }
+    if (config.replay.enabled) {
+      // Replication columns ride last, and only on replay runs, so the
+      // classic timeline shape is untouched.
+      timeline.gauge("backfill_msgs");
+      timeline.gauge("backfill_bytes");
+      timeline.gauge("queue_dropped");
+      if (config.obs.memprof) timeline.gauge("mem_history");
     }
   }
   obs::ScopedRecorder scoped(recorder.get());
@@ -308,8 +317,9 @@ Results run_mqtt_experiment(const MqttConfig& config) {
       recorder->add_chaos(std::string(to_string(event.kind)), base + event.at,
                           base + event.at + event.duration);
     }
-    recorder->set_sampler([&results, &hydra, &broker,
-                           prof = memprof.get()](obs::Timeline& timeline) {
+    recorder->set_sampler([&results, &hydra, &broker, prof = memprof.get(),
+                           replay = config.replay.enabled](
+                              obs::Timeline& timeline) {
       timeline.gauge("sent").set(
           static_cast<double>(results.metrics.sent()));
       timeline.gauge("received").set(
@@ -350,6 +360,19 @@ Results run_mqtt_experiment(const MqttConfig& config) {
                 prof->live(obs::MemCategory::kMqttSubIndex)));
         timeline.gauge("mem_total")
             .set(static_cast<double>(prof->live_total()));
+      }
+      if (replay) {
+        timeline.gauge("backfill_msgs")
+            .set(static_cast<double>(broker_stats.backfill_msgs));
+        timeline.gauge("backfill_bytes")
+            .set(static_cast<double>(broker_stats.backfill_bytes));
+        timeline.gauge("queue_dropped")
+            .set(static_cast<double>(broker_stats.queue_dropped));
+        if (prof != nullptr) {
+          timeline.gauge("mem_history")
+              .set(static_cast<double>(
+                  prof->live(obs::MemCategory::kHistory)));
+        }
       }
     });
     recorder->arm(kStartTime);
@@ -396,6 +419,9 @@ Results run_mqtt_experiment(const MqttConfig& config) {
   }
   results.availability.reconnects += subscriber->reconnects();
   results.availability.resubscribes += subscriber->resubscribes();
+  // Offline-queue drains at session resumption are MQTT's backfill path.
+  results.availability.backfill_msgs = broker.stats().backfill_msgs;
+  results.availability.backfill_bytes = broker.stats().backfill_bytes;
   if (recorder) results.obs = recorder->finish(horizon);
   return results;
 }

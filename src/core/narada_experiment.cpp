@@ -137,6 +137,8 @@ Results run_narada_experiment(const NaradaConfig& config) {
   dbn_config.broker_hosts = config.broker_hosts;
   dbn_config.transport = config.transport;
   dbn_config.subscription_aware_routing = config.subscription_aware_routing;
+  dbn_config.replay = config.replay.enabled;
+  dbn_config.retention = config.replay.retention;
   narada::Dbn dbn(hydra, dbn_config);
   dbn.start();
 
@@ -197,6 +199,13 @@ Results run_narada_experiment(const NaradaConfig& config) {
       timeline.gauge("mem_kernel_slab");
       timeline.gauge("mem_total");
     }
+    if (config.replay.enabled) {
+      // Replication columns ride last, and only on replay runs, so the
+      // classic timeline shape is untouched.
+      timeline.gauge("backfill_msgs");
+      timeline.gauge("backfill_bytes");
+      if (config.obs.memprof) timeline.gauge("mem_history");
+    }
   }
   obs::ScopedRecorder scoped(recorder.get());
   obs::ScopedMemProfile scoped_mem(memprof.get());
@@ -231,6 +240,13 @@ Results run_narada_experiment(const NaradaConfig& config) {
     subscriber_policy.backoff_max = config.fleet.backoff_max;
     subscriber_policy.jitter = config.fleet.backoff_jitter;
   }
+  if (config.replay.enabled && multi_broker) {
+    // Fail-over targets: every other broker in the network. Replication
+    // means any of them can serve the subscriber's stream and its backfill.
+    for (int b = 0; b < dbn.broker_count(); ++b) {
+      subscriber_policy.fallbacks.push_back(dbn.broker_endpoint(b));
+    }
+  }
 
   if (multi_broker) {
     // One subscriber per generator node, partitioned by origin with a real
@@ -243,6 +259,9 @@ Results run_narada_experiment(const NaradaConfig& config) {
           dbn.assign_subscriber_broker(), net::Endpoint{host, port++},
           config.transport);
       if (config.fleet.recovery) sub->set_reconnect_policy(subscriber_policy);
+      if (config.replay.enabled) {
+        sub->set_replay(config.replay.settle, config.replay.max_retries);
+      }
       sub->connect([sub, host, &make_listener](bool ok) {
         if (!ok) return;
         sub->subscribe("powergrid/monitoring",
@@ -258,6 +277,9 @@ Results run_narada_experiment(const NaradaConfig& config) {
         dbn.broker_endpoint(0), net::Endpoint{subscriber_host, 9000},
         config.transport);
     if (config.fleet.recovery) sub->set_reconnect_policy(subscriber_policy);
+    if (config.replay.enabled) {
+      sub->set_replay(config.replay.settle, config.replay.max_retries);
+    }
     const auto ack = config.ack_mode;
     sub->connect([sub, ack, &make_listener](bool ok) {
       if (!ok) return;
@@ -315,7 +337,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
       hydra.lan().clear_link_loss(src, dst);
     }
   };
-  hooks.set_partition = [&hydra, &config](bool active) {
+  hooks.set_partition = [&hydra, &config, &dbn](bool active) {
     // Split the DBN down the middle: publishing brokers (first half) lose
     // the switch path to subscribing brokers (second half).
     const auto& hosts = config.broker_hosts;
@@ -325,6 +347,12 @@ Results run_narada_experiment(const NaradaConfig& config) {
       for (std::size_t j = half; j < hosts.size(); ++j) {
         hydra.lan().set_path_blocked(hosts[i], hosts[j], active);
       }
+    }
+    if (!active && config.replay.enabled) {
+      // Replication repair: every broker pulls the frames it missed from
+      // its peers, so client backfills (which settle later) find complete
+      // retention on whichever broker serves them.
+      dbn.request_peer_backfill();
     }
   };
   hooks.crash_broker = [&dbn](int b) { dbn.broker(b).crash(); };
@@ -342,8 +370,9 @@ Results run_narada_experiment(const NaradaConfig& config) {
       recorder->add_chaos(std::string(to_string(event.kind)), base + event.at,
                           base + event.at + event.duration);
     }
-    recorder->set_sampler([&results, &hydra, &dbn,
-                           prof = memprof.get()](obs::Timeline& timeline) {
+    recorder->set_sampler([&results, &hydra, &dbn, prof = memprof.get(),
+                           replay = config.replay.enabled](
+                              obs::Timeline& timeline) {
       timeline.gauge("sent").set(
           static_cast<double>(results.metrics.sent()));
       timeline.gauge("received").set(
@@ -381,6 +410,17 @@ Results run_narada_experiment(const NaradaConfig& config) {
                 prof->live(obs::MemCategory::kKernelSlab)));
         timeline.gauge("mem_total")
             .set(static_cast<double>(prof->live_total()));
+      }
+      if (replay) {
+        timeline.gauge("backfill_msgs")
+            .set(static_cast<double>(broker_stats.backfill_msgs));
+        timeline.gauge("backfill_bytes")
+            .set(static_cast<double>(broker_stats.backfill_bytes));
+        if (prof != nullptr) {
+          timeline.gauge("mem_history")
+              .set(static_cast<double>(
+                  prof->live(obs::MemCategory::kHistory)));
+        }
       }
     });
     recorder->arm(kStartTime);
@@ -444,6 +484,11 @@ Results run_narada_experiment(const NaradaConfig& config) {
     results.availability.reconnects += sub->reconnects();
     results.availability.resubscribes += sub->resubscribes();
   }
+  // Backfill traffic served from retention: broker stats cover both
+  // client-facing replays and peer-to-peer replication repair.
+  const auto total_broker_stats = dbn.total_stats();
+  results.availability.backfill_msgs = total_broker_stats.backfill_msgs;
+  results.availability.backfill_bytes = total_broker_stats.backfill_bytes;
   if (recorder) results.obs = recorder->finish(horizon);
   return results;
 }

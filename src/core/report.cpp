@@ -271,6 +271,8 @@ constexpr DiffMetric kDiffMetrics[] = {
     {"pt_mean_ms", DiffMetric::Direction::kLowerBetter, false},
     {"slo_worst_burn", DiffMetric::Direction::kLowerBetter, false},
     {"peak_model_bytes", DiffMetric::Direction::kLowerBetter, false},
+    {"loss_after_recovery_pct", DiffMetric::Direction::kLowerBetter, false},
+    {"backfill_bytes", DiffMetric::Direction::kNeutral, false},
     {"sim_events", DiffMetric::Direction::kNeutral, false},
     {"wall_seconds", DiffMetric::Direction::kLowerBetter, true},
     {"events_per_sec", DiffMetric::Direction::kHigherBetter, true},

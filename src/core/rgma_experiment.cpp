@@ -46,8 +46,15 @@ class RgmaGenerator {
         tracker_(tracker),
         rng_(hydra.sim().rng_stream("rgma.generator").stream(
             static_cast<std::uint64_t>(id))),
+        // Replay runs widen producer retention to the configured tiers so a
+        // reconnecting consumer's history query can cover its poll gap.
         producer_(hydra.host(host), http, service, static_cast<int>(id),
-                  kTable) {
+                  kTable,
+                  config.replay.enabled ? config.replay.retention.raw_window
+                                        : units::seconds(30),
+                  config.replay.enabled
+                      ? config.replay.retention.downsampled_window
+                      : units::seconds(60)) {
     if (config.fleet.recovery) {
       producer_.enable_redeclare(config.fleet.backoff_initial,
                                  config.fleet.backoff_max);
@@ -174,8 +181,24 @@ class Subscriber {
   /// Observability: RTT histogram deliveries record into (null = off).
   void set_rtt_series(obs::HistogramSeries* series) { rtt_series_ = series; }
 
+  /// Reconnect backfill: after each successful re-create, replay the poll
+  /// gap from producer history retention. Re-delivered rows are dropped by
+  /// the in-flight map, so only genuinely missed rows count.
+  void enable_replay() {
+    consumer_.enable_replay(
+        [this](std::vector<rgma::Tuple> tuples, SimTime issued) {
+          process(std::move(tuples), issued, /*backfill=*/true);
+        });
+  }
+
   [[nodiscard]] std::uint64_t recreates() const {
     return consumer_.recreates();
+  }
+  [[nodiscard]] std::uint64_t backfill_tuples() const {
+    return consumer_.backfill_tuples();
+  }
+  [[nodiscard]] std::int64_t backfill_bytes() const {
+    return consumer_.backfill_bytes();
   }
 
  private:
@@ -185,31 +208,36 @@ class Subscriber {
     consumer_.poll([this](std::vector<rgma::Tuple> tuples,
                           SimTime before_receiving) {
       polling_ = false;
-      const SimTime now = hydra_.sim().now();
-      for (const auto& tuple : tuples) {
-        if (tuple.values.size() <= kRowSentColumn) continue;
-        const auto* id = std::get_if<std::int64_t>(&tuple.values[kRowIdColumn]);
-        const auto* seq =
-            std::get_if<std::int64_t>(&tuple.values[kRowSeqColumn]);
-        if (id == nullptr || seq == nullptr) continue;
-        const auto it = in_flight_.find(row_key(*id, *seq));
-        if (it == in_flight_.end()) continue;
-        tracker_.on_delivery(now);
-        metrics_.record(it->second.before_sending, it->second.after_sending,
-                        before_receiving, now);
-        if (rtt_series_ != nullptr) {
-          rtt_series_->record(
-              units::to_millis(now - it->second.before_sending));
-        }
-        if (obs::Recorder* r = obs::tracer()) {
-          const obs::TraceKey key = obs::key_of(*id, *seq);
-          r->mark_at(key, "recv", before_receiving);
-          r->mark(key, "done");
-          r->complete(key);
-        }
-        in_flight_.erase(it);
-      }
+      process(std::move(tuples), before_receiving, /*backfill=*/false);
     });
+  }
+
+  void process(std::vector<rgma::Tuple> tuples, SimTime before_receiving,
+               bool backfill) {
+    const SimTime now = hydra_.sim().now();
+    for (const auto& tuple : tuples) {
+      if (tuple.values.size() <= kRowSentColumn) continue;
+      const auto* id = std::get_if<std::int64_t>(&tuple.values[kRowIdColumn]);
+      const auto* seq =
+          std::get_if<std::int64_t>(&tuple.values[kRowSeqColumn]);
+      if (id == nullptr || seq == nullptr) continue;
+      const auto it = in_flight_.find(row_key(*id, *seq));
+      if (it == in_flight_.end()) continue;
+      tracker_.on_delivery(now);
+      metrics_.record(it->second.before_sending, it->second.after_sending,
+                      before_receiving, now);
+      if (rtt_series_ != nullptr) {
+        rtt_series_->record(
+            units::to_millis(now - it->second.before_sending));
+      }
+      if (obs::Recorder* r = obs::tracer()) {
+        const obs::TraceKey key = obs::key_of(*id, *seq);
+        r->mark_at(key, backfill ? "backfill" : "recv", before_receiving);
+        r->mark(key, "done");
+        r->complete(key);
+      }
+      in_flight_.erase(it);
+    }
   }
 
   cluster::Hydra& hydra_;
@@ -266,6 +294,17 @@ Results run_rgma_experiment(const RgmaConfig& config) {
           config.renewal_period);
     }
   }
+  if (config.request_timeout > 0) {
+    // Half-open-registry rescue: bound every service→registry round trip so
+    // wedged (accepted-but-never-answered) requests fail with 408 instead
+    // of stranding the renewal/registration handlers forever.
+    for (int i = 0; i < network.producer_service_count(); ++i) {
+      network.producer_service(i).set_registry_timeout(config.request_timeout);
+    }
+    for (int i = 0; i < network.consumer_service_count(); ++i) {
+      network.consumer_service(i).set_registry_timeout(config.request_timeout);
+    }
+  }
 
   Results results;
   results.metrics.set_deadline(units::seconds(5));
@@ -303,6 +342,13 @@ Results run_rgma_experiment(const RgmaConfig& config) {
       timeline.gauge("mem_kernel_slab");
       timeline.gauge("mem_predicate_cache");
       timeline.gauge("mem_total");
+    }
+    if (config.replay.enabled) {
+      // Replication columns ride last, and only on replay runs, so the
+      // classic timeline shape is untouched.
+      timeline.gauge("backfill_msgs");
+      timeline.gauge("backfill_bytes");
+      if (config.obs.memprof) timeline.gauge("mem_history");
     }
   }
   obs::ScopedRecorder scoped(recorder.get());
@@ -359,6 +405,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
         network.consumer_service(c).endpoint(), 800000 + c, std::move(query),
         config.poll_period, results.metrics, in_flight, tracker,
         config.fleet.recovery ? config.consumer_retry : SimTime{0}));
+    if (config.replay.enabled) subscribers.back()->enable_replay();
     subscribers.back()->set_rtt_series(rtt_series);
     hydra.sim().schedule_at(kStartTime / 2, [sub = subscribers.back().get()] {
       sub->start();
@@ -427,6 +474,9 @@ Results run_rgma_experiment(const RgmaConfig& config) {
     }
   };
   hooks.expire_registrations = [&network] { network.registry().expire_now(); };
+  hooks.set_registry_half_open = [&network](bool half_open) {
+    network.registry().set_half_open(half_open);
+  };
   FaultInjector injector(hydra.sim(), config.faults, hooks);
   injector.arm(steady_begin);
   injector_ptr = &injector;
@@ -438,8 +488,10 @@ Results run_rgma_experiment(const RgmaConfig& config) {
       recorder->add_chaos(std::string(to_string(event.kind)), base + event.at,
                           base + event.at + event.duration);
     }
-    recorder->set_sampler([&results, &hydra, &network,
-                           prof = memprof.get()](obs::Timeline& timeline) {
+    recorder->set_sampler([&results, &hydra, &network, &subscribers,
+                           prof = memprof.get(),
+                           replay = config.replay.enabled](
+                              obs::Timeline& timeline) {
       timeline.gauge("sent").set(
           static_cast<double>(results.metrics.sent()));
       timeline.gauge("received").set(
@@ -496,6 +548,23 @@ Results run_rgma_experiment(const RgmaConfig& config) {
                 prof->live(obs::MemCategory::kPredicateCache)));
         timeline.gauge("mem_total")
             .set(static_cast<double>(prof->live_total()));
+      }
+      if (replay) {
+        std::uint64_t backfill_tuples = 0;
+        std::int64_t backfill_bytes = 0;
+        for (const auto& sub : subscribers) {
+          backfill_tuples += sub->backfill_tuples();
+          backfill_bytes += sub->backfill_bytes();
+        }
+        timeline.gauge("backfill_msgs")
+            .set(static_cast<double>(backfill_tuples));
+        timeline.gauge("backfill_bytes")
+            .set(static_cast<double>(backfill_bytes));
+        if (prof != nullptr) {
+          timeline.gauge("mem_history")
+              .set(static_cast<double>(
+                  prof->live(obs::MemCategory::kHistory)));
+        }
       }
     });
     recorder->arm(kStartTime);
@@ -559,6 +628,8 @@ Results run_rgma_experiment(const RgmaConfig& config) {
   }
   for (const auto& sub : subscribers) {
     results.availability.resubscribes += sub->recreates();
+    results.availability.backfill_msgs += sub->backfill_tuples();
+    results.availability.backfill_bytes += sub->backfill_bytes();
   }
   if (recorder) results.obs = recorder->finish(horizon);
   return results;

@@ -84,10 +84,8 @@ void MqttBroker::crash() {
       obs::mem_sub(obs::MemCategory::kBrokerRouting,
                    parked_footprint(parked));
     }
-    for (const auto& queued : session.offline_queue) {
-      obs::mem_sub(obs::MemCategory::kBrokerRouting,
-                   parked_footprint(queued));
-    }
+    // Offline queues release their kHistory accounting via the
+    // HistoryBuffer destructor when sessions_ clears below.
   }
   sessions_.clear();
   sub_index_.clear();
@@ -188,6 +186,7 @@ void MqttBroker::handle_connect(const net::StreamConnectionPtr& conn,
   if (it == sessions_.end()) {
     it = sessions_.emplace(id, Session{}).first;
     it->second.client_id = id;
+    it->second.offline_queue = core::HistoryBuffer(config_.retention);
   }
   Session& session = it->second;
   session.clean = packet->clean_session;
@@ -236,13 +235,23 @@ void MqttBroker::handle_connect(const net::StreamConnectionPtr& conn,
       }
       ++stats_.retransmissions;
     }
-    while (!session.offline_queue.empty()) {
-      PacketPtr queued = session.offline_queue.front();
-      session.offline_queue.pop_front();
-      obs::mem_sub(obs::MemCategory::kBrokerRouting,
-                   parked_footprint(queued));
-      deliver(session, queued->qos, queued, /*retained_replay=*/false);
-    }
+    std::uint64_t drained = 0;
+    std::int64_t drained_bytes = 0;
+    session.offline_queue.replay_since(
+        0, [&](std::uint64_t, const std::any& payload, std::int64_t bytes) {
+          const auto* queued = std::any_cast<PacketPtr>(&payload);
+          if (queued == nullptr || !*queued) return;
+          mark_packet(*queued, "backfill");
+          deliver(session, (*queued)->qos, *queued,
+                  /*retained_replay=*/false);
+          ++drained;
+          drained_bytes += bytes;
+        });
+    // Reset the queue (releases its retention accounting): everything it
+    // held is now in the live in-flight window.
+    session.offline_queue = core::HistoryBuffer(config_.retention);
+    stats_.backfill_msgs += drained;
+    stats_.backfill_bytes += drained_bytes;
   }
 }
 
@@ -414,13 +423,18 @@ void MqttBroker::deliver(Session& session, int granted_qos,
   }
   if (!session.connected) {
     if (session.clean) return;
-    // Persistent session: queue for redelivery at resumption.
+    // Persistent session: queue for redelivery at resumption, under the
+    // retention policy — drop-oldest once the bound is hit, honestly
+    // counted instead of growing without limit.
     auto queued = std::make_shared<Packet>(*publish);
     queued->qos = qos;
     queued->retain = retained_replay;
-    session.offline_queue.push_back(std::move(queued));
-    obs::mem_add(obs::MemCategory::kBrokerRouting,
-                 parked_footprint(session.offline_queue.back()));
+    const std::int64_t bytes = parked_footprint(queued);
+    const std::int64_t dropped_before = session.offline_queue.dropped();
+    session.offline_queue.append(PacketPtr(std::move(queued)), bytes,
+                                 host_.sim().now());
+    stats_.queue_dropped += static_cast<std::uint64_t>(
+        session.offline_queue.dropped() - dropped_before);
     return;
   }
   auto out = std::make_shared<Packet>(*publish);
@@ -514,9 +528,7 @@ void MqttBroker::erase_session(const std::string& client_id) {
   for (const auto& [pid, parked] : session.inbound_qos2) {
     obs::mem_sub(obs::MemCategory::kBrokerRouting, parked_footprint(parked));
   }
-  for (const auto& queued : session.offline_queue) {
-    obs::mem_sub(obs::MemCategory::kBrokerRouting, parked_footprint(queued));
-  }
+  // The offline queue's retention accounting releases in its destructor.
   sessions_.erase(it);
 }
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cluster/host.hpp"
+#include "core/history.hpp"
 #include "mqtt/packets.hpp"
 #include "mqtt/sub_index.hpp"
 #include "net/lan.hpp"
@@ -51,6 +52,11 @@ struct MqttBrokerConfig {
   /// Keep-alive sessions expire after `keep_alive_grace` × keep-alive of
   /// silence (1.5 per the MQTT specification).
   double keep_alive_grace = 1.5;
+  /// Retention policy bounding each persistent session's offline queue
+  /// (QoS 1/2 messages parked while the client is away). Drop-oldest
+  /// evictions are counted in `queue_dropped` — the fix for the formerly
+  /// unbounded clean_session=false queue growth.
+  core::RetentionConfig retention;
 };
 
 struct MqttBrokerStats {
@@ -65,6 +71,9 @@ struct MqttBrokerStats {
   std::uint64_t sessions_expired = 0;
   std::uint64_t retransmissions = 0;      ///< broker-side DUP re-sends
   std::uint64_t crashes = 0;
+  std::uint64_t queue_dropped = 0;   ///< offline-queue retention evictions
+  std::uint64_t backfill_msgs = 0;   ///< offline-queue drains at resumption
+  std::int64_t backfill_bytes = 0;   ///< bytes of those drained deliveries
 };
 
 class MqttBroker {
@@ -123,8 +132,10 @@ class MqttBroker {
     std::vector<std::pair<std::string, int>> subscriptions;
     /// Outbound QoS 1/2 window, keyed by broker-assigned packet id.
     std::map<std::uint16_t, InFlightOut> in_flight;
-    /// QoS 1/2 messages queued while a persistent session is offline.
-    std::deque<PacketPtr> offline_queue;
+    /// QoS 1/2 messages queued while a persistent session is offline,
+    /// bounded by the broker's retention policy (kHistory-accounted;
+    /// evictions count into stats_.queue_dropped).
+    core::HistoryBuffer offline_queue;
     /// Inbound QoS 2 messages parked until PUBREL (exactly-once dedup).
     std::map<std::uint16_t, PacketPtr> inbound_qos2;
     std::uint16_t next_packet_id = 1;

@@ -1,5 +1,6 @@
 #include "narada/broker.hpp"
 
+
 #include <algorithm>
 
 #include "cluster/costs.hpp"
@@ -68,6 +69,11 @@ void Broker::crash() {
   subscriptions_.clear();
   queue_cursor_.clear();
   udp_pending_.clear();
+  // Retained frames die with the process (the HistoryBuffer destructors
+  // release the mem_history accounting). The per-topic sequence counters
+  // survive — a durable broker journals its high watermark — so stamps
+  // stay monotone across the restart.
+  history_.clear();
   GRIDMON_WARN("narada.broker")
       << "broker " << config_.broker_id << " crashed";
 }
@@ -204,6 +210,9 @@ void Broker::on_client_frame(const net::StreamConnectionPtr& conn,
       // Session acknowledgement bookkeeping.
       host_.cpu().charge(costs::kUdpAckProcessing);
       break;
+    case FrameKind::kBackfillRequest:
+      handle_backfill_request(conn, frame);
+      break;
     default:
       break;
   }
@@ -308,22 +317,44 @@ void Broker::ingest_publish(const FramePtr& frame) {
               static_cast<SimTime>(message_count);
   }
 
-  host_.cpu().execute(demand, [this, frame, transient, aggregated] {
-    mark_frame(frame, "route_fanout");
+  // Replay: stamp each message with the next per-topic sequence and retain
+  // it under (topic, this broker) before dispatch, so a later gap replay
+  // can serve it even if every subscriber is away right now.
+  std::uint64_t first_seq = 0;
+  if (config_.replay && !frame->is_queue) {
+    auto& next = next_history_seq_[frame->topic];
+    first_seq = next + 1;
     if (aggregated) {
       for (const auto& message : frame->batch) {
-        deliver_local(message, frame->topic, frame->is_queue);
+        retain(frame->topic, config_.broker_id, ++next, message);
       }
     } else {
-      deliver_local(frame->message, frame->topic, frame->is_queue);
+      retain(frame->topic, config_.broker_id, ++next, frame->message);
     }
-    disseminate(frame);
+  }
+
+  host_.cpu().execute(demand, [this, frame, transient, aggregated,
+                               first_seq] {
+    mark_frame(frame, "route_fanout");
+    if (aggregated) {
+      std::uint64_t seq = first_seq;
+      for (const auto& message : frame->batch) {
+        deliver_local(message, frame->topic, frame->is_queue,
+                      first_seq > 0 ? config_.broker_id : -1, seq);
+        if (seq > 0) ++seq;
+      }
+    } else {
+      deliver_local(frame->message, frame->topic, frame->is_queue,
+                    first_seq > 0 ? config_.broker_id : -1, first_seq);
+    }
+    disseminate(frame, first_seq);
     host_.heap().release(transient);
   });
 }
 
 void Broker::deliver_local(const jms::MessagePtr& message,
-                           const std::string& topic, bool is_queue) {
+                           const std::string& topic, bool is_queue,
+                           int origin, std::uint64_t seq) {
   // Zero-copy fan-out: one immutable frame shared by every local delivery.
   // Clients consuming a kDeliver read only kind/topic/message (acking is
   // governed by their own mode), and the wire size is field-independent,
@@ -342,6 +373,33 @@ void Broker::deliver_local(const jms::MessagePtr& message,
   };
 
   if (!is_queue) {
+    if (seq > 0) {
+      // Replay-stamped fan-out: each subscriber gets its own frame carrying
+      // (origin, seq) plus the per-subscription prev_seq chain — the price
+      // of gap detection through selectors. Fan-out in the replay scenarios
+      // is small, so giving up the shared frame here is cheap.
+      for (auto& sub : subscriptions_) {
+        if (sub.topic != topic || sub.is_queue) continue;
+        if (!sub.selector.matches(*message)) continue;
+        Frame stamped;
+        stamped.kind = FrameKind::kDeliver;
+        stamped.topic = topic;
+        stamped.message = message;
+        stamped.origin_broker = origin;
+        stamped.history_seq = seq;
+        stamped.prev_seq = sub.last_sent[origin];
+        sub.last_sent[origin] = seq;
+        auto frame = std::make_shared<const Frame>(std::move(stamped));
+        const std::int64_t stamped_wire = frame_wire_size(*frame);
+        if (sub.via_udp) {
+          lan_.send_datagram(config_.endpoint, sub.udp, stamped_wire, frame);
+        } else if (sub.conn && sub.conn->open()) {
+          sub.conn->send(sub.conn_side, stamped_wire, frame);
+        }
+        ++stats_.events_delivered;
+      }
+      return;
+    }
     for (const auto& sub : subscriptions_) {
       if (sub.topic != topic || sub.is_queue) continue;
       if (!sub.selector.matches(*message)) continue;
@@ -363,7 +421,7 @@ void Broker::deliver_local(const jms::MessagePtr& message,
   send_to(*matching[pick]);
 }
 
-void Broker::disseminate(const FramePtr& frame) {
+void Broker::disseminate(const FramePtr& frame, std::uint64_t first_seq) {
   if (peers_.empty()) return;
 
   std::int64_t bytes = frame->message ? frame->message->wire_size() : 0;
@@ -379,6 +437,7 @@ void Broker::disseminate(const FramePtr& frame) {
     fwd.batch = frame->batch;
     fwd.origin_broker = config_.broker_id;
     fwd.final_broker = final_broker;
+    fwd.history_seq = first_seq;
     return std::make_shared<const Frame>(std::move(fwd));
   };
 
@@ -417,6 +476,26 @@ void Broker::disseminate(const FramePtr& frame) {
 void Broker::ingest_forward(const FramePtr& frame) {
   ++stats_.events_from_peers;
   mark_frame(frame, "peer_in");
+  // Replication: mirror the origin's retention under its own numbering, so
+  // a client that fails over to this broker can still replay its gap.
+  // append_at dedups, so repeated peer-replay sweeps cost nothing extra;
+  // a frame every replica already has is also not re-delivered locally.
+  const std::uint64_t first_seq =
+      config_.replay && !frame->is_queue ? frame->history_seq : 0;
+  std::vector<bool> fresh;
+  if (first_seq > 0) {
+    std::uint64_t seq = first_seq;
+    if (!frame->batch.empty()) {
+      fresh.reserve(frame->batch.size());
+      for (const auto& message : frame->batch) {
+        fresh.push_back(retain(frame->topic, frame->origin_broker, seq++,
+                               message));
+      }
+    } else if (frame->message) {
+      fresh.push_back(retain(frame->topic, frame->origin_broker, first_seq,
+                             frame->message));
+    }
+  }
   // A relayed event costs the receiving broker real work: deserialise the
   // inter-broker frame, then run the same matching/dispatch pipeline as a
   // locally published event. Under the broadcast deficiency every broker
@@ -441,17 +520,24 @@ void Broker::ingest_forward(const FramePtr& frame) {
       costs::kBrokerFanoutCost * fanout;
   host_.cpu().execute(
       demand,
-      [this, frame, transient] {
+      [this, frame, transient, first_seq, fresh = std::move(fresh)] {
         mark_frame(frame, "relay_route");
         host_.heap().release(transient);
         if (frame->final_broker == -1 ||
             frame->final_broker == config_.broker_id) {
+          const int origin = first_seq > 0 ? frame->origin_broker : -1;
           if (!frame->batch.empty()) {
-            for (const auto& message : frame->batch) {
-              deliver_local(message, frame->topic, frame->is_queue);
+            std::uint64_t seq = first_seq;
+            for (std::size_t i = 0; i < frame->batch.size(); ++i) {
+              if (fresh.empty() || fresh[i]) {
+                deliver_local(frame->batch[i], frame->topic, frame->is_queue,
+                              origin, seq);
+              }
+              if (seq > 0) ++seq;
             }
-          } else {
-            deliver_local(frame->message, frame->topic, frame->is_queue);
+          } else if (fresh.empty() || fresh.front()) {
+            deliver_local(frame->message, frame->topic, frame->is_queue,
+                          origin, first_seq);
           }
           // Broadcast mode (-1) is terminal here: full mesh, single hop.
           return;
@@ -515,8 +601,164 @@ void Broker::on_peer_frame(std::size_t peer_index,
     case FrameKind::kForward:
       ingest_forward(frame);
       break;
+    case FrameKind::kBackfillRequest:
+      handle_peer_backfill_request(peer_index, frame);
+      break;
     default:
       break;
+  }
+}
+
+bool Broker::retain(const std::string& topic, int origin, std::uint64_t seq,
+                    const jms::MessagePtr& message) {
+  auto [it, inserted] = history_.try_emplace(
+      std::pair<std::string, int>{topic, origin},
+      core::HistoryBuffer(config_.retention));
+  const std::int64_t bytes = kFrameHeaderBytes + message->wire_size();
+  return it->second.append_at(seq, message, bytes, host_.sim().now());
+}
+
+std::int64_t Broker::retained_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [key, buffer] : history_) total += buffer.stored_bytes();
+  return total;
+}
+
+void Broker::handle_backfill_request(const net::StreamConnectionPtr& conn,
+                                     const FramePtr& frame) {
+  if (!config_.replay || crashed_) return;
+  // Serve per requesting subscription: replay only what its selector
+  // matches, then close with a per-origin summary so the client can
+  // advance its cursors past anything retention already evicted.
+  for (auto& sub : subscriptions_) {
+    if (sub.conn != conn || sub.topic != frame->topic || sub.is_queue) {
+      continue;
+    }
+    Frame reply;
+    reply.kind = FrameKind::kBackfillReply;
+    reply.topic = frame->topic;
+    for (auto& [key, buffer] : history_) {
+      if (key.first != frame->topic) continue;
+      const int origin = key.second;
+      std::uint64_t cursor = 0;
+      for (const BackfillCursor& c : frame->cursors) {
+        if (c.origin == origin) cursor = c.seq;
+      }
+      std::uint64_t served = 0;
+      std::int64_t served_bytes = 0;
+      const core::ReplayStats stats = buffer.replay_since(
+          cursor, [&](std::uint64_t seq, const std::any& payload,
+                      std::int64_t) {
+            const auto* message = std::any_cast<jms::MessagePtr>(&payload);
+            if (message == nullptr || !*message) return;
+            if (!sub.selector.matches(**message)) return;
+            Frame out;
+            out.kind = FrameKind::kDeliver;
+            out.topic = frame->topic;
+            out.message = *message;
+            out.origin_broker = origin;
+            out.history_seq = seq;
+            out.backfill = true;
+            auto shared = std::make_shared<const Frame>(std::move(out));
+            const std::int64_t wire = frame_wire_size(*shared);
+            mark_frame(shared, "backfill");
+            if (sub.conn && sub.conn->open()) {
+              sub.conn->send(sub.conn_side, wire, shared);
+            }
+            ++served;
+            served_bytes += wire;
+            ++stats_.events_delivered;
+          });
+      if (served > 0) {
+        // Re-serialising retained messages is real broker work.
+        const SimTime demand =
+            costs::kBrokerServiceBase +
+            static_cast<SimTime>(static_cast<double>(served_bytes) *
+                                 costs::kSerializePerByteNs);
+        host_.cpu().charge(host_.loaded(demand, costs::kThreadLoadFactor));
+      }
+      stats_.backfill_msgs += served;
+      stats_.backfill_bytes += served_bytes;
+      reply.cursors.push_back(
+          {origin, buffer.last_sequence(), stats.truncated});
+    }
+    auto shared = std::make_shared<const Frame>(std::move(reply));
+    if (sub.conn && sub.conn->open()) {
+      sub.conn->send(sub.conn_side, frame_wire_size(*shared), shared);
+    }
+  }
+}
+
+void Broker::handle_peer_backfill_request(std::size_t peer_index,
+                                          const FramePtr& frame) {
+  if (!config_.replay || crashed_) return;
+  const Peer& peer = peers_[peer_index];
+  if (!peer.conn || !peer.conn->open()) return;
+  for (auto& [key, buffer] : history_) {
+    if (key.first != frame->topic) continue;
+    const int origin = key.second;
+    std::uint64_t cursor = 0;
+    for (const BackfillCursor& c : frame->cursors) {
+      if (c.origin == origin) cursor = c.seq;
+    }
+    std::uint64_t served = 0;
+    std::int64_t served_bytes = 0;
+    buffer.replay_since(
+        cursor,
+        [&](std::uint64_t seq, const std::any& payload, std::int64_t) {
+          const auto* message = std::any_cast<jms::MessagePtr>(&payload);
+          if (message == nullptr || !*message) return;
+          Frame out;
+          out.kind = FrameKind::kForward;
+          out.topic = frame->topic;
+          out.message = *message;
+          out.origin_broker = origin;
+          out.final_broker = -1;
+          out.history_seq = seq;
+          out.backfill = true;
+          auto shared = std::make_shared<const Frame>(std::move(out));
+          const std::int64_t wire = frame_wire_size(*shared);
+          mark_frame(shared, "backfill");
+          peer.conn->send(peer.side, wire, shared);
+          ++served;
+          served_bytes += wire;
+          ++stats_.events_forwarded;
+        });
+    if (served > 0) {
+      const SimTime demand =
+          costs::kBrokerServiceBase +
+          static_cast<SimTime>(static_cast<double>(served_bytes) *
+                               costs::kSerializePerByteNs);
+      host_.cpu().charge(host_.loaded(demand, costs::kThreadLoadFactor));
+    }
+    stats_.backfill_msgs += served;
+    stats_.backfill_bytes += served_bytes;
+  }
+}
+
+void Broker::request_peer_backfill() {
+  if (!config_.replay || crashed_ || peers_.empty()) return;
+  // One request per topic we track, carrying our per-origin high
+  // watermarks: peers replay only what we are missing.
+  std::set<std::string> topics;
+  for (const auto& [key, buffer] : history_) topics.insert(key.first);
+  for (const auto& sub : subscriptions_) {
+    if (!sub.is_queue) topics.insert(sub.topic);
+  }
+  for (const std::string& topic : topics) {
+    Frame request;
+    request.kind = FrameKind::kBackfillRequest;
+    request.topic = topic;
+    for (const auto& [key, buffer] : history_) {
+      if (key.first != topic) continue;
+      request.cursors.push_back({key.second, buffer.last_sequence(), false});
+    }
+    auto shared = std::make_shared<const Frame>(std::move(request));
+    const std::int64_t wire = frame_wire_size(*shared);
+    for (const Peer& peer : peers_) {
+      if (!peer.conn || !peer.conn->open()) continue;
+      peer.conn->send(peer.side, wire, shared);
+    }
   }
 }
 

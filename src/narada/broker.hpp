@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "cluster/host.hpp"
+#include "core/history.hpp"
 #include "jms/selector.hpp"
 #include "narada/bnm.hpp"
 #include "narada/frames.hpp"
@@ -47,6 +48,12 @@ struct BrokerConfig {
   /// false reproduces the v1.1.3 broadcast deficiency; true routes events
   /// only toward brokers with matching subscriptions.
   bool subscription_aware_routing = false;
+  /// Reconnect backfill replication: retain published frames per
+  /// (topic, origin broker) in a tiered HistoryBuffer and serve gap
+  /// replays to reconnecting clients and healing peers. Off keeps every
+  /// frame and wire size byte-identical to the classic runs.
+  bool replay = false;
+  core::RetentionConfig retention;
 };
 
 struct BrokerStats {
@@ -58,6 +65,8 @@ struct BrokerStats {
   std::uint64_t events_from_peers = 0;
   std::uint64_t udp_acks_sent = 0;
   std::uint64_t crashes = 0;             ///< fault-injected crash/restarts
+  std::uint64_t backfill_msgs = 0;   ///< messages replayed from retention
+  std::int64_t backfill_bytes = 0;   ///< wire bytes of replay traffic served
 };
 
 class Broker {
@@ -91,6 +100,13 @@ class Broker {
   /// Provide the network map used for subscription-aware routing.
   void set_network_map(const BrokerNetworkMap* map) { map_ = map; }
 
+  /// Replication repair after a partition heals: ask every peer to replay
+  /// the retained frames we are missing (per-origin high watermarks).
+  /// No-op unless `config.replay` is on.
+  void request_peer_backfill();
+  /// Bytes currently held in retention (sums every (topic, origin) tier).
+  [[nodiscard]] std::int64_t retained_bytes() const;
+
   [[nodiscard]] const BrokerStats& stats() const { return stats_; }
   [[nodiscard]] cluster::Host& host() { return host_; }
   [[nodiscard]] net::Endpoint endpoint() const { return config_.endpoint; }
@@ -111,6 +127,10 @@ class Broker {
     int conn_side = 1;
     net::Endpoint udp;
     bool via_udp = false;
+    /// Replay chain: per-origin sequence of the last matching message sent
+    /// to this subscriber (stamped as prev_seq so the client detects gaps
+    /// even through a selector that filters most of the stream).
+    std::map<int, std::uint64_t> last_sent;
   };
 
   struct Peer {
@@ -131,11 +151,22 @@ class Broker {
   void ingest_forward(const FramePtr& frame);
 
   /// Match subscriptions and deliver to local subscribers. Topics fan out;
-  /// queues round-robin among their receivers (JMS PTP).
+  /// queues round-robin among their receivers (JMS PTP). `origin`/`seq`
+  /// carry the retention stamp when replay is on (-1/0 otherwise).
   void deliver_local(const jms::MessagePtr& message, const std::string& topic,
-                     bool is_queue);
+                     bool is_queue, int origin = -1, std::uint64_t seq = 0);
+  /// Retain one message under (topic, origin) at the given sequence.
+  /// Returns false for duplicates (stale peer-replay traffic).
+  bool retain(const std::string& topic, int origin, std::uint64_t seq,
+              const jms::MessagePtr& message);
+  /// Serve a gap replay to a client subscription or a healing peer.
+  void handle_backfill_request(const net::StreamConnectionPtr& conn,
+                               const FramePtr& frame);
+  void handle_peer_backfill_request(std::size_t peer_index,
+                                    const FramePtr& frame);
   /// Send the event toward peer brokers per the routing policy.
-  void disseminate(const FramePtr& frame);
+  /// `first_seq` stamps the forward frames when replay is on.
+  void disseminate(const FramePtr& frame, std::uint64_t first_seq = 0);
   void send_to_peer(int peer_id, const FramePtr& frame);
   void advertise_subscription(const std::string& topic);
 
@@ -161,6 +192,15 @@ class Broker {
   std::map<std::string, std::size_t> queue_cursor_;
   std::uint64_t next_subscription_id_ = 1;
   std::uint64_t next_message_seq_ = 1;
+
+  /// Tiered retention per (topic, origin broker). Wiped by crash() — the
+  /// retained frames die with the process.
+  std::map<std::pair<std::string, int>, core::HistoryBuffer> history_;
+  /// Per-topic sequence counters for locally-published frames. These
+  /// survive crash(): a durable broker journals its high watermark even
+  /// when the retained messages are lost, so post-restart stamps stay
+  /// monotone and client cursors never see a wrapped stream.
+  std::map<std::string, std::uint64_t> next_history_seq_;
 
   /// UDP publishes held until the next acknowledgement flush.
   std::deque<FramePtr> udp_pending_;

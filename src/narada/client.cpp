@@ -1,5 +1,6 @@
 #include "narada/client.hpp"
 
+
 #include <algorithm>
 
 #include "cluster/costs.hpp"
@@ -49,6 +50,12 @@ void NaradaClient::set_reconnect_policy(ReconnectPolicy policy) {
                        .rng_stream("narada.reconnect")
                        .stream((static_cast<std::uint64_t>(local_.node) << 16) |
                                local_.port);
+}
+
+void NaradaClient::set_replay(SimTime settle, int max_retries) {
+  replay_enabled_ = true;
+  replay_settle_ = settle;
+  replay_max_retries_ = max_retries;
 }
 
 void NaradaClient::connect(ReadyHandler on_ready) {
@@ -111,6 +118,10 @@ void NaradaClient::adopt_connection(net::StreamConnectionPtr conn) {
         // reconnect policy this is permanent — the no-recovery baseline.
         c->ready_ = false;
         c->conn_.reset();
+        // Any in-flight backfill died with the link; the post-welcome
+        // resubscribe path starts a fresh round.
+        c->backfill_pending_ = false;
+        c->backfill_round_ = 0;
         if (c->reconnect_.enabled) c->schedule_reconnect();
       });
 }
@@ -124,6 +135,15 @@ void NaradaClient::schedule_reconnect() {
   reconnecting_ = true;
   ++reconnect_attempt_;
   ++reconnects_;
+  if (!reconnect_.fallbacks.empty() && reconnect_.rehome_after > 0 &&
+      reconnect_attempt_ % reconnect_.rehome_after == 0) {
+    // Persistent failures: fail over to the next surviving broker in the
+    // network instead of waiting out the crashed one.
+    broker_ =
+        reconnect_.fallbacks[fallback_index_ % reconnect_.fallbacks.size()];
+    ++fallback_index_;
+    ++rehomes_;
+  }
   double delay = static_cast<double>(reconnect_.backoff_initial);
   for (int i = 1; i < reconnect_attempt_; ++i) {
     delay *= reconnect_.multiplier;
@@ -348,12 +368,110 @@ void NaradaClient::on_frame(const net::Datagram& datagram) {
         backlog_.pop_front();
         send_frame(std::move(queued));
       }
+      // Close the disconnection gap: once resubscribed, ask the (possibly
+      // new) broker to replay what we missed since our cursors.
+      if (was_reconnect && replay_enabled_ && has_subscription_ &&
+          !subscribed_is_queue_) {
+        schedule_backfill();
+      }
     }
     return;
   }
   if (frame->kind == FrameKind::kDeliver) {
+    if (replay_enabled_ && frame->history_seq > 0 &&
+        !track_replay_delivery(frame)) {
+      return;  // duplicate of a sequence the replay layer already delivered
+    }
     handle_deliver(frame, host_.sim().now());
+  } else if (frame->kind == FrameKind::kBackfillReply) {
+    on_backfill_reply(frame);
   }
+}
+
+bool NaradaClient::track_replay_delivery(const FramePtr& frame) {
+  auto& cursor = cursors_[frame->origin_broker];
+  const std::uint64_t seq = frame->history_seq;
+  if (seq <= cursor.last || cursor.ahead.count(seq) > 0) return false;
+  if (frame->backfill) {
+    // Served from retention: fills a hole behind the live stream.
+    cursor.ahead.insert(seq);
+    ++backfill_received_;
+    backfill_bytes_ += frame_wire_size(*frame);
+  } else if (frame->prev_seq <= cursor.last &&
+             (frame->prev_seq > 0 || cursor.last == 0)) {
+    // Live frame whose chain connects (the previous matching message was
+    // seen): advance the watermark directly. prev_seq == 0 means a fresh
+    // broker-side subscription chain — that only "connects" when this
+    // client is fresh too, otherwise a resubscribe after a crash would
+    // silently jump the cursor over the whole disconnection gap.
+    cursor.last = seq;
+  } else {
+    // The previous matching message never arrived — a gap the wire dropped
+    // silently. Deliver this frame anyway and ask for a replay.
+    cursor.ahead.insert(seq);
+    schedule_backfill();
+  }
+  // Drain anything now contiguous (or stale) out of the ahead set.
+  while (!cursor.ahead.empty()) {
+    const std::uint64_t front = *cursor.ahead.begin();
+    if (front > cursor.last + 1) break;
+    cursor.last = std::max(cursor.last, front);
+    cursor.ahead.erase(cursor.ahead.begin());
+  }
+  return true;
+}
+
+void NaradaClient::on_backfill_reply(const FramePtr& frame) {
+  backfill_pending_ = false;
+  bool gap_remains = false;
+  for (const BackfillCursor& c : frame->cursors) {
+    auto& cursor = cursors_[c.origin];
+    // Everything the broker retains up to c.seq was replayed ahead of this
+    // reply on the same FIFO link (or evicted — honestly lost either way):
+    // advance the watermark past the served window.
+    cursor.last = std::max(cursor.last, c.seq);
+    while (!cursor.ahead.empty()) {
+      const std::uint64_t front = *cursor.ahead.begin();
+      if (front > cursor.last + 1) break;
+      cursor.last = std::max(cursor.last, front);
+      cursor.ahead.erase(cursor.ahead.begin());
+    }
+    if (!cursor.ahead.empty()) gap_remains = true;
+  }
+  if (gap_remains && backfill_round_ < replay_max_retries_) {
+    // Live frames raced past the served window while the reply was in
+    // flight; one more bounded round picks up the stragglers.
+    ++backfill_round_;
+    schedule_backfill();
+  } else {
+    backfill_round_ = 0;
+  }
+}
+
+void NaradaClient::schedule_backfill() {
+  if (!replay_enabled_ || backfill_pending_) return;
+  if (!has_subscription_ || subscribed_is_queue_) return;
+  backfill_pending_ = true;
+  host_.sim().schedule_after(replay_settle_, [self = weak_from_this()] {
+    if (auto c = self.lock()) c->request_backfill();
+  });
+}
+
+void NaradaClient::request_backfill() {
+  if (!replay_enabled_) return;
+  if (!ready_) {
+    // The link dropped again while we were settling; the next welcome's
+    // resubscribe path schedules a fresh round.
+    backfill_pending_ = false;
+    return;
+  }
+  Frame frame;
+  frame.kind = FrameKind::kBackfillRequest;
+  frame.topic = subscribed_topic_;
+  for (const auto& [origin, cursor] : cursors_) {
+    frame.cursors.push_back({origin, cursor.last, false});
+  }
+  send_frame(std::make_shared<const Frame>(std::move(frame)));
 }
 
 void NaradaClient::handle_deliver(const FramePtr& frame, SimTime arrived_at) {

@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,6 +38,12 @@ struct ReconnectPolicy {
   /// Each delay is stretched by uniform[0, jitter] of itself.
   double jitter = 0.2;
   int max_attempts = 0;  ///< 0 = keep trying until the run ends
+  /// Fail-over: after every `rehome_after` consecutive failed attempts the
+  /// client re-homes to the next fallback broker (round-robin through
+  /// `fallbacks`). Empty keeps hammering the original broker — the classic
+  /// single-broker recovery behaviour.
+  std::vector<net::Endpoint> fallbacks;
+  int rehome_after = 2;
 };
 
 class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
@@ -93,12 +101,23 @@ class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
   /// paper-faithful no-recovery baseline.
   void set_reconnect_policy(ReconnectPolicy policy);
 
+  /// Enable reconnect gap replay. After a reconnect resubscribe (or a gap
+  /// detected in the live delivery chain) the client waits `settle`, then
+  /// asks its broker to backfill everything past its per-origin cursors.
+  /// `max_retries` bounds follow-up rounds when a reply leaves gaps open.
+  void set_replay(SimTime settle, int max_retries);
+
   [[nodiscard]] bool ready() const { return ready_; }
   [[nodiscard]] bool refused() const { return refused_; }
   [[nodiscard]] std::uint64_t published() const { return published_; }
   [[nodiscard]] std::uint64_t received() const { return received_; }
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
   [[nodiscard]] std::uint64_t resubscribes() const { return resubscribes_; }
+  [[nodiscard]] std::uint64_t rehomes() const { return rehomes_; }
+  [[nodiscard]] std::uint64_t backfill_received() const {
+    return backfill_received_;
+  }
+  [[nodiscard]] std::int64_t backfill_bytes() const { return backfill_bytes_; }
   [[nodiscard]] net::Endpoint local() const { return local_; }
 
  private:
@@ -118,6 +137,13 @@ class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
   void schedule_reconnect();
   void attempt_reconnect();
   void resubscribe();
+  /// Returns false when the stamped frame duplicates a sequence already
+  /// delivered (the caller must drop it); otherwise records the delivery,
+  /// advances the per-origin cursor and schedules a backfill on gaps.
+  bool track_replay_delivery(const FramePtr& frame);
+  void on_backfill_reply(const FramePtr& frame);
+  void schedule_backfill();
+  void request_backfill();
 
   cluster::Host& host_;
   net::Lan& lan_;
@@ -147,6 +173,22 @@ class NaradaClient : public std::enable_shared_from_this<NaradaClient> {
   bool reconnecting_ = false;
   std::uint64_t reconnects_ = 0;
   std::uint64_t resubscribes_ = 0;
+  std::size_t fallback_index_ = 0;
+  std::uint64_t rehomes_ = 0;
+
+  // Replay (reconnect backfill) state.
+  struct OriginCursor {
+    std::uint64_t last = 0;         ///< newest contiguously-seen sequence
+    std::set<std::uint64_t> ahead;  ///< delivered sequences beyond a gap
+  };
+  bool replay_enabled_ = false;
+  SimTime replay_settle_ = 0;
+  int replay_max_retries_ = 0;
+  std::map<int, OriginCursor> cursors_;  ///< keyed by origin broker id
+  bool backfill_pending_ = false;
+  int backfill_round_ = 0;
+  std::uint64_t backfill_received_ = 0;
+  std::int64_t backfill_bytes_ = 0;
 
   std::uint64_t next_message_seq_ = 1;
   std::uint64_t published_ = 0;

@@ -18,6 +18,8 @@ Dbn::Dbn(cluster::Hydra& hydra, DbnConfig config)
     bc.transport = config_.transport;
     bc.broker_id = static_cast<int>(i);
     bc.subscription_aware_routing = config_.subscription_aware_routing;
+    bc.replay = config_.replay;
+    bc.retention = config_.retention;
     brokers_.push_back(std::make_unique<Broker>(
         hydra_.host(config_.broker_hosts[i]), hydra_.lan(), hydra_.streams(),
         bc));
@@ -99,7 +101,20 @@ BrokerStats Dbn::total_stats() const {
     total.events_forwarded += s.events_forwarded;
     total.events_from_peers += s.events_from_peers;
     total.udp_acks_sent += s.udp_acks_sent;
+    total.crashes += s.crashes;
+    total.backfill_msgs += s.backfill_msgs;
+    total.backfill_bytes += s.backfill_bytes;
   }
+  return total;
+}
+
+void Dbn::request_peer_backfill() {
+  for (auto& broker : brokers_) broker->request_peer_backfill();
+}
+
+std::int64_t Dbn::retained_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& broker : brokers_) total += broker->retained_bytes();
   return total;
 }
 

@@ -26,6 +26,9 @@ struct DbnConfig {
   bool subscription_aware_routing = false;
   DbnTopology topology = DbnTopology::kFullMesh;
   std::uint16_t base_port = 5000;
+  /// Reconnect backfill replication (forwarded into each BrokerConfig).
+  bool replay = false;
+  core::RetentionConfig retention;
 };
 
 class Dbn {
@@ -50,6 +53,12 @@ class Dbn {
 
   /// Aggregate stats across brokers.
   [[nodiscard]] BrokerStats total_stats() const;
+
+  /// Replication repair: every broker asks its peers to replay the retained
+  /// frames it is missing. Call after a partition heals.
+  void request_peer_backfill();
+  /// Bytes currently held in retention across the whole network.
+  [[nodiscard]] std::int64_t retained_bytes() const;
 
  private:
   cluster::Hydra& hydra_;

@@ -20,6 +20,18 @@ enum class FrameKind {
   kDeliver,
   kForward,        ///< broker → broker event relay
   kPeerSubscribe,  ///< broker → broker subscription advertisement
+  kBackfillRequest,  ///< gap replay ask (client → broker, broker → peer)
+  kBackfillReply,    ///< per-origin served-upto summary closing a backfill
+};
+
+/// Per-origin replay cursor carried by backfill frames. In a request `seq`
+/// is the newest sequence the requester has seen from that origin; in a
+/// reply it is the newest sequence the server retains (`truncated` = part
+/// of the requested gap was already evicted, i.e. honestly lost).
+struct BackfillCursor {
+  int origin = -1;
+  std::uint64_t seq = 0;
+  bool truncated = false;
 };
 
 struct Frame {
@@ -39,6 +51,17 @@ struct Frame {
   /// related work, §IV): several publishes to the same destination carried
   /// in one wire frame. Non-empty only for aggregated kPublish frames.
   std::vector<jms::MessagePtr> batch;
+  // Backfill replication fields (all zero/empty unless the run enabled
+  // replay, so replay-off frames — and their wire sizes — are unchanged).
+  /// Per-(topic, origin) retention sequence stamped by the origin broker.
+  std::uint64_t history_seq = 0;
+  /// Sequence of the previous message this subscriber's selector matched
+  /// (per origin): the delivery chain a client detects gaps from.
+  std::uint64_t prev_seq = 0;
+  /// True when the frame was served from retention, not the live stream.
+  bool backfill = false;
+  /// kBackfillRequest / kBackfillReply cursor list.
+  std::vector<BackfillCursor> cursors;
 };
 
 using FramePtr = std::shared_ptr<const Frame>;
@@ -48,14 +71,24 @@ using FramePtr = std::shared_ptr<const Frame>;
 constexpr std::int64_t kControlFrameBytes = 96;
 constexpr std::int64_t kFrameHeaderBytes = 32;
 
+/// Serialised size of one BackfillCursor (origin + seq + flags).
+constexpr std::int64_t kBackfillCursorBytes = 16;
+
 [[nodiscard]] inline std::int64_t frame_wire_size(const Frame& frame) {
+  // Replay-stamped frames pay for the extra header fields; replay-off
+  // frames carry neither, keeping the classic wire sizes byte-identical.
+  const std::int64_t replay =
+      (frame.history_seq > 0 ? 16 : 0) +
+      static_cast<std::int64_t>(frame.cursors.size()) * kBackfillCursorBytes;
   if (!frame.batch.empty()) {
-    std::int64_t total = kFrameHeaderBytes;
+    std::int64_t total = kFrameHeaderBytes + replay;
     for (const auto& message : frame.batch) total += message->wire_size();
     return total;
   }
-  if (frame.message) return kFrameHeaderBytes + frame.message->wire_size();
-  return kControlFrameBytes;
+  if (frame.message) {
+    return kFrameHeaderBytes + frame.message->wire_size() + replay;
+  }
+  return kControlFrameBytes + replay;
 }
 
 }  // namespace gridmon::narada

@@ -41,6 +41,37 @@ HttpClient::HttpClient(StreamTransport& transport, Endpoint local)
 void HttpClient::request(Endpoint server, HttpRequest req,
                          ResponseHandler on_response) {
   req.correlation_id = next_correlation_++;
+  if (request_timeout_ > 0) {
+    // Half-open servers accept the connection and never answer; without a
+    // timer the handler would be stranded in `awaiting` forever.
+    const std::uint64_t correlation = req.correlation_id;
+    transport_.lan().simulation().schedule_after(
+        request_timeout_, [this, server, correlation] {
+          const auto found = channels_.find(server);
+          if (found == channels_.end()) return;
+          ServerChannel& ch = found->second;
+          ResponseHandler handler;
+          const auto it = ch.awaiting.find(correlation);
+          if (it != ch.awaiting.end()) {
+            handler = std::move(it->second);
+            ch.awaiting.erase(it);
+          } else {
+            for (auto qit = ch.to_send.begin(); qit != ch.to_send.end();
+                 ++qit) {
+              if (qit->first.correlation_id == correlation) {
+                handler = std::move(qit->second);
+                ch.to_send.erase(qit);
+                break;
+              }
+            }
+          }
+          if (!handler) return;  // answered in time
+          HttpResponse resp;
+          resp.status = 408;
+          resp.correlation_id = correlation;
+          handler(resp);
+        });
+  }
   auto& channel = channels_[server];
   channel.to_send.emplace_back(std::move(req), std::move(on_response));
 

@@ -77,6 +77,12 @@ class HttpClient {
   /// servlet threads finish independently).
   void request(Endpoint server, HttpRequest req, ResponseHandler on_response);
 
+  /// Arm a per-request timeout: a request still unanswered after `timeout`
+  /// fails with 408 and any late response is discarded. 0 (the default)
+  /// disables the timer entirely — a half-open server then hangs its
+  /// clients forever, which is exactly what the timeout exists to catch.
+  void set_request_timeout(SimTime timeout) { request_timeout_ = timeout; }
+
  private:
   struct ServerChannel {
     StreamConnectionPtr conn;
@@ -91,6 +97,7 @@ class HttpClient {
   Endpoint local_;
   std::uint16_t next_port_;
   std::uint64_t next_correlation_ = 1;
+  SimTime request_timeout_ = 0;
   std::unordered_map<Endpoint, ServerChannel, EndpointHash> channels_;
 };
 

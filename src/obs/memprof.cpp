@@ -18,6 +18,8 @@ std::string_view to_string(MemCategory category) {
       return "sub_index";
     case MemCategory::kPredicateCache:
       return "predicate_cache";
+    case MemCategory::kHistory:
+      return "history";
   }
   return "unknown";
 }
@@ -38,6 +40,8 @@ std::string_view gauge_name(MemCategory category) {
       return "mem_sub_index";
     case MemCategory::kPredicateCache:
       return "mem_predicate_cache";
+    case MemCategory::kHistory:
+      return "mem_history";
   }
   return "mem_unknown";
 }

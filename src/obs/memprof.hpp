@@ -40,8 +40,9 @@ enum class MemCategory : std::uint8_t {
   kKernelSlab,         ///< DES kernel event-node slab (via KernelStats)
   kMqttSubIndex,       ///< MQTT broker subscription trie (nodes + entries)
   kPredicateCache,     ///< compiled SQL predicates (producer + consumer side)
+  kHistory,            ///< tiered retention buffers (backfill replication)
 };
-inline constexpr std::size_t kMemCategoryCount = 7;
+inline constexpr std::size_t kMemCategoryCount = 8;
 
 /// Short label ("broker_routing", ...) for tables and docs.
 [[nodiscard]] std::string_view to_string(MemCategory category);

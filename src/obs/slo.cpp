@@ -17,6 +17,8 @@ std::string_view to_string(SloObjective::Kind kind) {
       return "ttr_ms";
     case SloObjective::Kind::kAvailabilityPct:
       return "availability_pct";
+    case SloObjective::Kind::kLossAfterRecoveryPct:
+      return "loss_after_recovery_pct";
   }
   return "unknown";
 }
@@ -56,6 +58,12 @@ SloSpec& SloSpec::min_availability_pct(double pct) {
   return *this;
 }
 
+SloSpec& SloSpec::max_loss_after_recovery_pct(double pct) {
+  objectives.push_back({SloObjective::Kind::kLossAfterRecoveryPct,
+                        SloScope::kWholeRun, pct});
+  return *this;
+}
+
 std::string SloSpec::serialise() const {
   std::string out;
   char line[96];
@@ -91,6 +99,8 @@ SloSpec SloSpec::parse(std::string_view text) {
       objective.kind = SloObjective::Kind::kTtrMs;
     } else if (kind_word == "availability_pct") {
       objective.kind = SloObjective::Kind::kAvailabilityPct;
+    } else if (kind_word == "loss_after_recovery_pct") {
+      objective.kind = SloObjective::Kind::kLossAfterRecoveryPct;
     } else {
       throw std::invalid_argument("SloSpec::parse: unknown kind: " +
                                   kind_word);
@@ -231,6 +241,20 @@ SloReport evaluate_slo(const SloSpec& spec, const SloInput& input) {
         const double burn =
             std::min(kMaxBurn, std::max(0.0, 100.0 - measured) / budget);
         add_check(report, objective, measured, burn);
+        break;
+      }
+      case SloObjective::Kind::kLossAfterRecoveryPct: {
+        // Residual loss the recovery/backfill machinery failed to repair:
+        // everything the fault windows claimed (in-window + tail).
+        const double measured =
+            input.sent == 0
+                ? 0.0
+                : 100.0 *
+                      static_cast<double>(input.lost_in_window +
+                                          input.lost_post_window) /
+                      static_cast<double>(input.sent);
+        add_check(report, objective, measured,
+                  ceiling_burn(measured, objective.bound));
         break;
       }
     }

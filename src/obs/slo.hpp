@@ -45,6 +45,7 @@ struct SloObjective {
     kDeadlineMissPct,    ///< ceiling on deliveries past the 5 s bound, percent
     kTtrMs,              ///< ceiling on per-window time-to-recover, ms
     kAvailabilityPct,    ///< floor on 100 * (1 - downtime/horizon)
+    kLossAfterRecoveryPct,  ///< ceiling on fault-attributed residual loss
   };
   Kind kind = Kind::kLossPct;
   SloScope scope = SloScope::kWholeRun;
@@ -66,6 +67,10 @@ struct SloSpec {
   SloSpec& max_deadline_miss_pct(double pct);
   SloSpec& max_ttr_ms(double ms);
   SloSpec& min_availability_pct(double pct);
+  /// Messages still lost *after* the recovery (and backfill) machinery had
+  /// its chance: fault-attributed losses as a percentage of sent. Replay
+  /// scenarios gate on this going to ~0.
+  SloSpec& max_loss_after_recovery_pct(double pct);
 
   /// One "<kind> <scope> <bound>" line per objective.
   [[nodiscard]] std::string serialise() const;

@@ -198,6 +198,12 @@ void Consumer::enable_retry(SimTime timeout) {
   retry_timeout_ = timeout;
 }
 
+void Consumer::enable_replay(
+    std::function<void(std::vector<Tuple>, SimTime)> on_backfill) {
+  replay_enabled_ = true;
+  on_backfill_ = std::move(on_backfill);
+}
+
 void Consumer::schedule_recreate() {
   if (recreating_) return;
   recreating_ = true;
@@ -205,9 +211,44 @@ void Consumer::schedule_recreate() {
   host_.sim().schedule_after(retry_timeout_, [this] {
     create([this](bool ok) {
       recreating_ = false;
-      (void)ok;  // a failed re-create re-arms off the next failed poll
+      // The continuous query is live again, but everything published during
+      // the outage already streamed past it: replay the gap from producer
+      // retention with a one-time history query.
+      if (ok && replay_enabled_) request_backfill();
     });
   });
+}
+
+void Consumer::request_backfill() {
+  const SimTime issued = host_.sim().now();
+  net::HttpRequest req;
+  req.path = kConsumerPath;
+  req.body_bytes = static_cast<std::int64_t>(query_.size()) + 32;
+  req.body = std::shared_ptr<const OneTimeQueryRequest>(
+      std::make_shared<OneTimeQueryRequest>(
+          OneTimeQueryRequest{query_, QueryType::kHistory}));
+  http_.request(
+      service_, std::move(req),
+      [this, issued](const net::HttpResponse& resp) {
+        std::vector<Tuple> tuples;
+        if (const auto* payload =
+                std::any_cast<std::shared_ptr<const PollResponse>>(
+                    &resp.body)) {
+          tuples = (*payload)->tuples;
+        }
+        backfill_tuples_ += tuples.size();
+        backfill_bytes_ += resp.body_bytes + net::kHttpResponseOverhead;
+        const SimTime demand =
+            costs::kClientReceiveBase +
+            static_cast<SimTime>(static_cast<double>(resp.body_bytes) *
+                                 costs::kSerializePerByteNs);
+        host_.cpu().execute(demand,
+                            [this, issued, tuples = std::move(tuples)]() mutable {
+                              if (on_backfill_) {
+                                on_backfill_(std::move(tuples), issued);
+                              }
+                            });
+      });
 }
 
 }  // namespace gridmon::rgma

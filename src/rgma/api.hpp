@@ -102,15 +102,28 @@ class Consumer {
   /// after `timeout`. One re-create is in flight at a time.
   void enable_retry(SimTime timeout);
 
+  /// Reconnect backfill: after each successful re-create, issue a one-time
+  /// *history* query against producer retention and hand the results to
+  /// `on_backfill` — the poll gap is filled from the paper's own history
+  /// windows instead of being lost. The caller dedupes (already-delivered
+  /// tuples simply re-arrive and are ignored by the in-flight map).
+  void enable_replay(
+      std::function<void(std::vector<Tuple>, SimTime issued_at)> on_backfill);
+
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] bool created() const { return created_; }
   [[nodiscard]] bool refused() const { return refused_; }
   [[nodiscard]] std::uint64_t recreates() const { return recreates_; }
+  [[nodiscard]] std::uint64_t backfill_tuples() const {
+    return backfill_tuples_;
+  }
+  [[nodiscard]] std::int64_t backfill_bytes() const { return backfill_bytes_; }
 
  private:
   void one_time(QueryType type,
                 std::function<void(std::vector<Tuple>, SimTime)> on_tuples);
   void schedule_recreate();
+  void request_backfill();
 
   cluster::Host& host_;
   net::HttpClient& http_;
@@ -123,6 +136,10 @@ class Consumer {
   SimTime retry_timeout_ = 0;
   bool recreating_ = false;
   std::uint64_t recreates_ = 0;
+  bool replay_enabled_ = false;
+  std::function<void(std::vector<Tuple>, SimTime)> on_backfill_;
+  std::uint64_t backfill_tuples_ = 0;
+  std::int64_t backfill_bytes_ = 0;
 };
 
 }  // namespace gridmon::rgma

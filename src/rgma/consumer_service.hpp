@@ -54,6 +54,13 @@ class ConsumerService {
   /// are cheap and only a wiped registry triggers re-mediation).
   void enable_registration_renewal(SimTime period);
 
+  /// Bound registry round trips: a half-open registry accepts requests but
+  /// never answers; unanswered requests fail with 408 after `timeout`
+  /// (0 = off).
+  void set_registry_timeout(SimTime timeout) {
+    client_.set_request_timeout(timeout);
+  }
+
   /// Fault injection: the servlet container dies. Consumer state (result
   /// buffers, worker threads, queued batches) is lost and its memory
   /// reclaimed; requests fail with 503 until restart(). Clients must

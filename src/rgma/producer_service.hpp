@@ -50,6 +50,13 @@ class ProducerService {
   /// (soft-state heartbeats; pair with RegistryService::set_registration_ttl).
   void enable_registration_renewal(SimTime period);
 
+  /// Bound registry round trips: a half-open registry accepts requests but
+  /// never answers, so without this the renewal/registration handlers hang
+  /// forever. Unanswered requests fail with 408 after `timeout` (0 = off).
+  void set_registry_timeout(SimTime timeout) {
+    client_.set_request_timeout(timeout);
+  }
+
   /// Fault injection: the servlet container dies. Producer state (tuple
   /// stores, worker threads, attachments) is lost and its memory reclaimed;
   /// requests fail with 503 until restart(). Clients must re-declare their

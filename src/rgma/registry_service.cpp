@@ -76,6 +76,13 @@ void RegistryService::handle(const net::HttpRequest& request,
     respond(std::move(resp));
     return;
   }
+  if (half_open_) {
+    // Wedged container: the request is accepted and burns servlet time,
+    // but the responder is dropped on the floor — the client never hears
+    // back and must rescue itself with its own request timeout.
+    servlet_.service(units::microseconds(300), [] {});
+    return;
+  }
   // Producer lookups (mediation for one-time queries) return a list rather
   // than a status.
   if (const auto* lookup =

@@ -41,6 +41,12 @@ class RegistryService {
   void crash();
   void restart();
   [[nodiscard]] bool down() const { return down_; }
+  /// Fault injection: half-open container. The listener still accepts
+  /// connections and requests consume servlet time, but no response is
+  /// ever written — clients hang until their own request timeout fires
+  /// (a hung JVM / wedged servlet pool, nastier than a clean crash).
+  void set_half_open(bool half_open) { half_open_ = half_open; }
+  [[nodiscard]] bool half_open() const { return half_open_; }
   /// Fault injection: run one soft-state expiry sweep immediately.
   void expire_now() { expire_stale(); }
 
@@ -95,6 +101,7 @@ class RegistryService {
   sim::PeriodicTimer expiry_timer_;
   std::uint64_t expired_count_ = 0;
   bool down_ = false;
+  bool half_open_ = false;
   std::uint64_t reregistrations_ = 0;
 
  public:

@@ -68,6 +68,12 @@ const std::vector<std::string> kSection4Ids = {
     "chaos/rgma/registry_outage/400",
     "chaos/rgma/registry_outage/400_norecovery", "chaos/rgma/servlet_restart",
     "chaos/rgma/servlet_restart_norecovery",
+    // Replication: reconnect backfill twins + half-open registry
+    // (DESIGN.md §5)
+    "chaos/narada/broker_crash_replay/800",
+    "chaos/narada/dbn_broker_crash_replay", "chaos/narada/dbn_partition_replay",
+    "chaos/narada/nic_flap_replay/400", "chaos/mqtt/flapping_link_replay/800",
+    "chaos/rgma/servlet_restart_replay", "chaos/rgma/registry_halfopen/400",
 };
 
 TEST(RegistryTest, ResolvesEveryDesignSection4Id) {
@@ -266,11 +272,13 @@ TEST(CampaignTest, CsvShapeIsStable) {
             "peak_queue_depth,cb_heap_allocs,handle_allocs,faults,"
             "downtime_ms,ttr_ms,lost_in_window,lost_post_window,late,"
             "reconnects,resubscribes,reregistrations,slo_pass,"
-            "slo_worst_burn,peak_model_bytes,system");
+            "slo_worst_burn,peak_model_bytes,system,loss_after_recovery_pct,"
+            "backfill_bytes");
   EXPECT_NE(csv.find("test/narada/60,1,"), std::string::npos);
-  // The schema-v2 system column closes every row with the backend name.
-  EXPECT_EQ(csv.substr(csv.size() - std::string(",narada\n").size()),
-            ",narada\n");
+  // The backend name plus the replication columns close every row; a
+  // fault-free run reports 0.0000 residual loss and no backfill.
+  EXPECT_EQ(csv.substr(csv.size() - std::string(",narada,0.0000,0\n").size()),
+            ",narada,0.0000,0\n");
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
 // campaign is a pure function of (scenario, duration, seed) and its full
 // CSV export — availability columns included — is byte-identical whether
 // the campaign runs on one worker thread or four. These tests pin that
-// with an FNV-1a golden hash per scenario pair (recovery + baseline twin),
+// with an FNV-1a golden hash per scenario family (recovery + no-recovery
+// baseline + the `_replay` backfill twin, which the prefix also matches),
 // recorded at 1 virtual minute, seeds {1, 2}.
 #include <cstdint>
 #include <string>
@@ -37,11 +38,12 @@ std::string campaign_csv(const char* prefix, int jobs) {
 
 // Golden hashes recorded from the jobs=1 run at the settings above. If a
 // code change moves these, every chaos metric moved with it — rerecord only
-// when the shift is understood and intended. (Last rerecord: schema-v2
-// `system` CSV column plus server-ingress wire_bytes metering in the
-// Narada/R-GMA harnesses; no other metric value changed.)
-constexpr std::uint64_t kGoldenBrokerCrash = 14166480120698605448ULL;
-constexpr std::uint64_t kGoldenServletRestart = 13252089563737305222ULL;
+// when the shift is understood and intended. (Last rerecord: the CSV grew
+// the loss_after_recovery_pct/backfill_bytes columns and the prefixes now
+// also match the `_replay` backfill twins; the recovery/no-recovery rows'
+// pre-existing metric values did not change.)
+constexpr std::uint64_t kGoldenBrokerCrash = 13701059832762622083ULL;
+constexpr std::uint64_t kGoldenServletRestart = 5438591667422421047ULL;
 
 TEST(ChaosDeterminism, BrokerCrashByteIdenticalAcrossJobs) {
   const std::string serial = campaign_csv("chaos/narada/broker_crash", 1);

@@ -46,6 +46,7 @@ TEST(FaultPlan, SerialiseParseRoundTrip) {
       .registry_restart(units::seconds(60), units::seconds(120))
       .producer_servlet_restart(units::seconds(15), 0, units::seconds(10))
       .consumer_servlet_restart(units::seconds(45), -1, units::seconds(10))
+      .registry_half_open(units::seconds(50), units::seconds(30))
       .registry_expiry(units::seconds(3));
   const std::string text = plan.serialise();
   const FaultPlan parsed = FaultPlan::parse(text);
@@ -54,6 +55,8 @@ TEST(FaultPlan, SerialiseParseRoundTrip) {
   EXPECT_EQ(parsed.serialise(), text);
   EXPECT_EQ(parsed.events[5].anchor, FaultAnchor::kRunStart);
   EXPECT_EQ(parsed.events[7].target, -1);
+  EXPECT_EQ(parsed.events[8].kind, FaultKind::kRegistryHalfOpen);
+  EXPECT_EQ(parsed.events[8].duration, units::seconds(30));
 }
 
 TEST(FaultPlan, ParseRejectsMalformedInput) {

@@ -1,0 +1,225 @@
+// HistoryBuffer is the shared durability primitive behind reconnect
+// backfill: a raw ring covering the last R seconds plus a 1-in-K
+// downsampled tier covering the last D seconds, byte/entry bounded with
+// drop-oldest eviction, and an honest gap-replay cursor. These tests pin
+// the retention mechanics the three backends all lean on: tier demotion,
+// hard bounds, wrapped sequences after a source restart, partial backfill
+// when the gap outlived retention, and the memprof accounting that makes
+// the memory price of replication visible.
+#include <any>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/history.hpp"
+#include "obs/memprof.hpp"
+
+namespace gridmon::core {
+namespace {
+
+using units::seconds;
+
+/// Collects (seq, bytes) pairs from replay_since.
+struct Collector {
+  std::vector<std::uint64_t> seqs;
+  std::int64_t bytes = 0;
+
+  HistoryBuffer::ReplayVisitor visitor() {
+    return [this](std::uint64_t seq, const std::any&, std::int64_t b) {
+      seqs.push_back(seq);
+      bytes += b;
+    };
+  }
+};
+
+TEST(HistoryBufferTest, AppendAssignsMonotoneSequencesAndReplaysAll) {
+  HistoryBuffer buffer;
+  EXPECT_EQ(buffer.append(std::any{}, 10, seconds(1)), 1u);
+  EXPECT_EQ(buffer.append(std::any{}, 20, seconds(2)), 2u);
+  EXPECT_EQ(buffer.append(std::any{}, 30, seconds(3)), 3u);
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.stored_bytes(), 60);
+  EXPECT_EQ(buffer.first_sequence(), 1u);
+  EXPECT_EQ(buffer.last_sequence(), 3u);
+
+  Collector all;
+  ReplayStats stats = buffer.replay_since(0, all.visitor());
+  EXPECT_EQ(stats.served, 3);
+  EXPECT_EQ(stats.served_bytes, 60);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(all.seqs, (std::vector<std::uint64_t>{1, 2, 3}));
+
+  Collector tail;
+  stats = buffer.replay_since(2, tail.visitor());
+  EXPECT_EQ(stats.served, 1);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(tail.seqs, (std::vector<std::uint64_t>{3}));
+}
+
+TEST(HistoryBufferTest, RawEntriesDemoteToDownsampledTier) {
+  RetentionConfig config;
+  config.raw_window = seconds(10);
+  config.downsampled_window = seconds(100);
+  config.downsample_keep_every = 4;
+  HistoryBuffer buffer(config);
+
+  // Eight entries at t=0; prune at t=20 pushes all of them past the raw
+  // window, so only every 4th sequence (4, 8) survives into the
+  // downsampled tier.
+  for (int i = 0; i < 8; ++i) buffer.append(std::any{}, 100, seconds(0));
+  buffer.prune(seconds(20));
+
+  Collector replay;
+  ReplayStats stats = buffer.replay_since(0, replay.visitor());
+  EXPECT_EQ(replay.seqs, (std::vector<std::uint64_t>{4, 8}));
+  EXPECT_EQ(buffer.dropped(), 6);
+  EXPECT_EQ(buffer.stored_bytes(), 200);
+  // The downsampled survivors are a partial view of 1..8: a replay from
+  // cursor 0 must say so.
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.first_available, 4u);
+}
+
+TEST(HistoryBufferTest, DownsampledWindowEvictsOldestEntirely) {
+  RetentionConfig config;
+  config.raw_window = seconds(10);
+  config.downsampled_window = seconds(30);
+  config.downsample_keep_every = 1;  // keep everything on demotion
+  HistoryBuffer buffer(config);
+
+  buffer.append(std::any{}, 10, seconds(0));
+  buffer.append(std::any{}, 10, seconds(25));
+  // t=40: entry 1 (age 40) is past the downsampled window, entry 2
+  // (age 15) demotes but survives.
+  buffer.prune(seconds(40));
+
+  Collector replay;
+  buffer.replay_since(0, replay.visitor());
+  EXPECT_EQ(replay.seqs, (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(buffer.dropped(), 1);
+}
+
+TEST(HistoryBufferTest, ByteBoundEvictsOldestFirst) {
+  RetentionConfig config;
+  config.max_bytes = 250;
+  HistoryBuffer buffer(config);
+
+  for (int i = 0; i < 5; ++i) buffer.append(std::any{}, 100, seconds(1));
+  // Only two 100-byte entries fit under 250: sequences 4 and 5 remain.
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.stored_bytes(), 200);
+  EXPECT_EQ(buffer.first_sequence(), 4u);
+  EXPECT_EQ(buffer.dropped(), 3);
+}
+
+TEST(HistoryBufferTest, EntryBoundEvictsOldestFirst) {
+  RetentionConfig config;
+  config.max_entries = 3;
+  HistoryBuffer buffer(config);
+
+  for (int i = 0; i < 10; ++i) buffer.append(std::any{}, 8, seconds(1));
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.first_sequence(), 8u);
+  EXPECT_EQ(buffer.last_sequence(), 10u);
+  EXPECT_EQ(buffer.dropped(), 7);
+}
+
+TEST(HistoryBufferTest, FullyEvictedGapReportsHonestPartialBackfill) {
+  RetentionConfig config;
+  config.raw_window = seconds(5);
+  config.downsampled_window = seconds(10);
+  config.downsample_keep_every = 1;
+  HistoryBuffer buffer(config);
+
+  // Sequences 1..3 at t=0 age out entirely by t=60; 4..6 arrive fresh.
+  for (int i = 0; i < 3; ++i) buffer.append(std::any{}, 10, seconds(0));
+  for (int i = 0; i < 3; ++i) buffer.append(std::any{}, 10, seconds(60));
+
+  // A client whose cursor is 1 asks for 2..6 but 2..3 are gone: the
+  // replay serves 4..6 and flags the truncation so the caller counts the
+  // evicted part of the gap as lost instead of pretending it was filled.
+  Collector replay;
+  ReplayStats stats = buffer.replay_since(1, replay.visitor());
+  EXPECT_EQ(replay.seqs, (std::vector<std::uint64_t>{4, 5, 6}));
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.first_available, 4u);
+  EXPECT_EQ(stats.served, 3);
+
+  // A cursor already at the oldest boundary is NOT truncated: cursor+1 ==
+  // first_available means nothing in the gap was evicted.
+  Collector exact;
+  stats = buffer.replay_since(3, exact.visitor());
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(stats.served, 3);
+}
+
+TEST(HistoryBufferTest, WrappedCursorAfterSourceRestartServesEverything) {
+  HistoryBuffer buffer;
+  buffer.append(std::any{}, 10, seconds(1));
+  buffer.append(std::any{}, 10, seconds(1));
+
+  // The source restarted with fresh numbering, so a stale client cursor
+  // (9000) is ahead of everything this buffer ever assigned. Replay treats
+  // it as wrapped and serves the full retained window rather than nothing.
+  Collector replay;
+  ReplayStats stats = buffer.replay_since(9000, replay.visitor());
+  EXPECT_EQ(replay.seqs, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(stats.served, 2);
+}
+
+TEST(HistoryBufferTest, AppendAtPreservesOriginNumberingAndDedups) {
+  HistoryBuffer buffer;
+  // A replica receiving origin-stamped entries keeps the origin numbering,
+  // even when the first thing it ever sees is sequence 100.
+  EXPECT_TRUE(buffer.append_at(100, std::any{}, 10, seconds(1)));
+  EXPECT_EQ(buffer.first_sequence(), 100u);
+  EXPECT_EQ(buffer.last_sequence(), 100u);
+
+  // Redelivered and stale sequences are ignored (no double accounting).
+  EXPECT_FALSE(buffer.append_at(100, std::any{}, 10, seconds(1)));
+  EXPECT_FALSE(buffer.append_at(99, std::any{}, 10, seconds(1)));
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.stored_bytes(), 10);
+
+  EXPECT_TRUE(buffer.append_at(101, std::any{}, 10, seconds(1)));
+  // A cursor exactly at the oldest boundary minus one replays cleanly:
+  // a broker restarted mid-stream retains [100, 101] and a client at 99
+  // gets a complete (not truncated) backfill.
+  Collector replay;
+  ReplayStats stats = buffer.replay_since(99, replay.visitor());
+  EXPECT_EQ(replay.seqs, (std::vector<std::uint64_t>{100, 101}));
+  EXPECT_FALSE(stats.truncated);
+}
+
+TEST(HistoryBufferTest, MemprofAccountsRetainedBytesUnderHistory) {
+  obs::MemProfile profile;
+  obs::ScopedMemProfile scope(&profile);
+  constexpr auto kHistory = obs::MemCategory::kHistory;
+
+  {
+    HistoryBuffer buffer;
+    buffer.append(std::any{}, 100, seconds(1));
+    buffer.append(std::any{}, 50, seconds(1));
+    EXPECT_EQ(profile.live(kHistory), 150);
+
+    // Eviction releases accounting as it frees.
+    RetentionConfig bounded;
+    bounded.max_bytes = 60;
+    HistoryBuffer small(bounded);
+    small.append(std::any{}, 50, seconds(1));
+    small.append(std::any{}, 50, seconds(1));
+    EXPECT_EQ(profile.live(kHistory), 200);  // 150 + one surviving 50
+
+    // Moves transfer the accounting instead of double-counting it.
+    HistoryBuffer moved(std::move(buffer));
+    EXPECT_EQ(profile.live(kHistory), 200);
+    EXPECT_EQ(moved.stored_bytes(), 150);
+  }
+  // Destruction (a crashed broker dropping its buffers) releases it all.
+  EXPECT_EQ(profile.live(kHistory), 0);
+  EXPECT_EQ(profile.peak(kHistory), 250);  // both 50s live before eviction
+}
+
+}  // namespace
+}  // namespace gridmon::core

@@ -271,6 +271,62 @@ TEST_F(MqttFixture, PersistentSessionResumesWithoutResubscribe) {
   }
 }
 
+TEST_F(MqttFixture, OfflineQueueBoundedByRetentionPolicy) {
+  // The offline queue used to grow without bound while a persistent
+  // session was parked. It is now a HistoryBuffer under the broker's
+  // retention policy: drop-oldest eviction counted in queue_dropped, and
+  // the resumed drain counted as backfill.
+  MqttBrokerConfig config;
+  config.endpoint = broker_ep;
+  config.retention.max_entries = 4;
+  auto broker = std::make_unique<MqttBroker>(hydra.host(0), hydra.lan(),
+                                             hydra.streams(), config);
+  broker->start();
+
+  auto sub = make_client(1, 9000,
+                         {.client_id = "sub",
+                          .clean_session = false,
+                          .keep_alive = units::seconds(2)});
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  policy.backoff_initial = units::milliseconds(500);
+  sub->set_reconnect_policy(policy);
+  auto pub = make_client(2, 9001, {.client_id = "pub"});
+
+  std::vector<std::string> received;
+  sub->connect([&](bool ok) {
+    ASSERT_TRUE(ok);
+    sub->subscribe("powergrid/#", 1,
+                   [&](const PacketPtr& packet, SimTime) {
+                     received.push_back(packet->message_id);
+                   });
+  });
+  pub->connect([&](bool ok) { ASSERT_TRUE(ok); });
+
+  // Subscriber NIC down from 2.5 s; the broker parks the session once the
+  // keep-alive grace expires. Ten QoS 1 publishes land from t=8 s — all
+  // while the session is parked — but only the newest 4 fit the policy.
+  hydra.sim().schedule_at(units::milliseconds(2500),
+                          [this] { hydra.lan().set_node_down(1, true); });
+  for (int i = 0; i < 10; ++i) {
+    hydra.sim().schedule_at(
+        units::seconds(8) + units::milliseconds(500) * i, [&pub, i] {
+          pub->publish("powergrid/feeder1/gen0", 128, /*qos=*/1,
+                       /*retain=*/false, "m" + std::to_string(i));
+        });
+  }
+  hydra.sim().schedule_at(units::seconds(16),
+                          [this] { hydra.lan().set_node_down(1, false); });
+  hydra.sim().run_until(units::seconds(60));
+
+  EXPECT_EQ(broker->stats().queue_dropped, 6u);
+  EXPECT_EQ(broker->stats().backfill_msgs, 4u);
+  // Exactly the retained tail arrives after resumption — the evicted
+  // oldest six are honestly gone, not silently redelivered.
+  const std::vector<std::string> expected = {"m6", "m7", "m8", "m9"};
+  EXPECT_EQ(received, expected);
+}
+
 TEST_F(MqttFixture, BrokerCrashLosesStateAndClientsRecover) {
   // crash() models a process kill: sessions, retained store and in-flight
   // windows are gone. A client with a reconnect policy comes back, finds
