@@ -1,0 +1,104 @@
+// Hierarchical aggregation scale sweep: 10k -> 1M generators per backend.
+//
+// The paper's flat campaigns stop near 4000 connections — the 2 GB server
+// heap is exhausted by per-generator middleware clients. The hier/* family
+// terminates generator links on edge aggregators and keeps the whole
+// generator tier in flyweight struct-of-arrays state, so the same campaign
+// machinery sweeps 10k, 50k, 200k and 1M generators over all three
+// backends. This bench reports the scaling story: host wall time, kernel
+// events/s, and peak model bytes per generator at each scale, plus the
+// flat-vs-tree-vs-edge architecture ablation at 10k.
+#include "bench_common.hpp"
+
+#include "obs/memprof.hpp"
+
+namespace {
+
+using namespace gridmon;
+
+const char* kScales[] = {"10k", "50k", "200k", "1m"};
+const char* kBackends[] = {"narada", "rgma", "mqtt"};
+
+const char* kAblation[] = {
+    "hier/ablation/flat_10k",
+    "hier/ablation/tree_10k",
+    "hier/ablation/edge_10k",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Sweep sweep;
+  // The hier presets enable obs+memprof themselves; mirror that here so the
+  // flat ablation arm reports peak model bytes too.
+  sweep.options().obs.enabled = true;
+  sweep.options().obs.span_sample_every = 0;
+  std::vector<std::string> scale_ids;
+  for (const char* backend : kBackends) {
+    for (const char* scale : kScales) {
+      scale_ids.push_back(std::string("hier/") + backend + "/" + scale);
+    }
+  }
+  for (const auto& id : scale_ids) sweep.add(id);
+  for (const char* id : kAblation) sweep.add(id);
+  sweep.run_and_register();
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  auto row = [&](const std::string& id, util::TextTable& table) {
+    const auto pooled = sweep.pooled(id);
+    double wall = 0.0;
+    std::uint64_t events = 0;
+    for (const auto* record : sweep.campaign().records(id)) {
+      wall += record->wall_seconds;
+      events += record->results.kernel.events_executed;
+    }
+    const double bytes_per_gen =
+        pooled.generators > 0
+            ? static_cast<double>(pooled.mem.peak_total) /
+                  static_cast<double>(pooled.generators)
+            : 0.0;
+    table.add_row(
+        {id, std::to_string(pooled.generators),
+         util::TextTable::format(pooled.metrics.rtt_mean_ms()),
+         util::TextTable::format(pooled.metrics.loss_rate() * 100.0, 4),
+         std::to_string(pooled.refused), pooled.completed ? "yes" : "NO",
+         std::to_string(pooled.mem.peak_total),
+         util::TextTable::format(bytes_per_gen, 1),
+         std::to_string(pooled.wire_bytes),
+         util::TextTable::format(wall, 2),
+         util::TextTable::format(
+             wall > 0 ? static_cast<double>(events) / wall / 1e6 : 0.0, 2)});
+  };
+
+  bench::print_figure_header(
+      "Hier scale sweep",
+      "10k -> 1M generators through edge aggregation, per backend");
+  util::TextTable table({"scenario", "generators", "RTT (ms)", "loss (%)",
+                         "refused", "completed", "peak model (B)", "B/gen",
+                         "wire (B)", "wall (s)", "Mev/s"});
+  for (const auto& id : scale_ids) row(id, table);
+  bench::print_table(table);
+
+  bench::print_figure_header(
+      "Architecture ablation",
+      "flat connection-per-generator vs broker tree vs edge aggregation, "
+      "10k generators");
+  util::TextTable ablation({"scenario", "generators", "RTT (ms)", "loss (%)",
+                            "refused", "completed", "peak model (B)", "B/gen",
+                            "wire (B)", "wall (s)", "Mev/s"});
+  for (const char* id : kAblation) row(id, ablation);
+  bench::print_table(ablation);
+
+  std::printf(
+      "Expectation: every hier scale completes — 1M generators fit in under "
+      "10 MB of\nmodel state (8 B/generator of fleet arrays plus pending "
+      "frames), where the\nflat ablation hits the 1 GiB heap wall near 3800 "
+      "connections and refuses the\nrest of its 10k fleet. Bytes/generator "
+      "*falls* with scale as the fixed broker\nfootprint amortises; the "
+      "tree arm (raw pass-through) pays an order of magnitude\nmore wire "
+      "bytes than the reducing edge arm at identical fleet sizes.\n");
+  return 0;
+}

@@ -474,7 +474,7 @@ int cmd_run(int argc, char** argv) {
   std::vector<std::string> headers = {"scenario",     "RTT (ms)",
                                       "STDDEV (ms)",  "loss (%)",
                                       "CPU idle (%)", "mem (MB)",
-                                      "refused"};
+                                      "B/gen",        "refused"};
   if (any_faults) {
     for (const char* h : {"faults", "TTR (ms)", "lost in", "lost post",
                           "late", "reconnects", "backfill"}) {
@@ -490,6 +490,14 @@ int cmd_run(int argc, char** argv) {
         util::TextTable::format(pooled.metrics.loss_rate() * 100.0, 4),
         util::TextTable::format(pooled.servers.cpu_idle_pct, 1),
         std::to_string(pooled.servers.memory_bytes / units::MiB),
+        // Model bytes per monitored generator (worst seed); "-" when the
+        // run carries no memory profile or no fleet-size tag.
+        pooled.generators > 0 && pooled.mem.peak_total > 0
+            ? util::TextTable::format(
+                  static_cast<double>(pooled.mem.peak_total) /
+                      static_cast<double>(pooled.generators),
+                  1)
+            : "-",
         std::to_string(pooled.refused)};
     if (any_faults) {
       const auto& a = pooled.availability;

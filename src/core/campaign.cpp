@@ -20,6 +20,11 @@ Results Repetitions::pooled() const {
       // Re-record with zeroed phases; percentiles/mean come from here.
       out.metrics.record(0, 0, 0, static_cast<SimTime>(rtt * 1e6));
     }
+    // Hierarchical runs deliver most samples in bulk (one RTT sample per
+    // aggregate frame); carry the remainder so pooled loss stays honest.
+    out.metrics.count_received(run.metrics.received() -
+                               run.metrics.rtt_ms().count());
+    out.generators = std::max(out.generators, run.generators);
     idle += run.servers.cpu_idle_pct;
     mem += run.servers.memory_bytes;
     out.refused += run.refused;
@@ -103,6 +108,12 @@ void append_row(std::string& out, const RunRecord& run, bool json,
                                              a.lost_post_window) /
                          static_cast<double>(m.sent())
                    : 0.0;
+  // Model bytes per monitored generator: the scale-sweep figure of merit.
+  const std::int64_t generators = run.results.generators;
+  const double bytes_per_generator =
+      generators > 0 ? static_cast<double>(run.results.mem.peak_total) /
+                           static_cast<double>(generators)
+                     : 0.0;
   char buffer[2048];
   if (json) {
     std::snprintf(
@@ -173,6 +184,10 @@ void append_row(std::string& out, const RunRecord& run, bool json,
                   static_cast<unsigned long long>(a.backfill_msgs),
                   static_cast<long long>(a.backfill_bytes));
     out += buffer;
+    std::snprintf(buffer, sizeof(buffer),
+                  ", \"generators\": %lld, \"bytes_per_generator\": %.1f",
+                  static_cast<long long>(generators), bytes_per_generator);
+    out += buffer;
     if (mem.enabled) {
       out += ", \"mem_peak_bytes\": {";
       for (std::size_t c = 0; c < obs::kMemCategoryCount; ++c) {
@@ -240,6 +255,11 @@ void append_row(std::string& out, const RunRecord& run, bool json,
                   loss_after_recovery_pct,
                   static_cast<long long>(a.backfill_bytes));
     out += buffer;
+    // Fleet size (hierarchical-tier PR): flat runs report their generator
+    // count too, so bytes-per-generator is derivable from any row.
+    std::snprintf(buffer, sizeof(buffer), ",%lld",
+                  static_cast<long long>(generators));
+    out += buffer;
   }
 }
 
@@ -253,7 +273,7 @@ std::string Campaign::csv() const {
       "peak_queue_depth,cb_heap_allocs,handle_allocs,faults,downtime_ms,"
       "ttr_ms,lost_in_window,lost_post_window,late,reconnects,resubscribes,"
       "reregistrations,slo_pass,slo_worst_burn,peak_model_bytes,system,"
-      "loss_after_recovery_pct,backfill_bytes\n";
+      "loss_after_recovery_pct,backfill_bytes,generators\n";
   for (const auto& run : runs_) {
     append_row(out, run, /*json=*/false);
     out += '\n';

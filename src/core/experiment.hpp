@@ -43,6 +43,10 @@ struct Results {
   /// artefacts of the fault schedule, not resource exhaustion.
   std::uint64_t refused_in_faults = 0;
   bool completed = true;               ///< false if the run hit a hard wall
+  /// Fleet size of the run (generator tier for hier scenarios, client
+  /// fleet otherwise). Drives the campaign `generators` column and the
+  /// bytes/generator figure of merit; 0 = unknown (legacy custom bodies).
+  std::int64_t generators = 0;
   /// Availability under injected faults (all-zero when the scenario's
   /// FaultPlan is empty).
   Availability availability;

@@ -24,14 +24,25 @@ class Metrics {
               SimTime before_receiving, SimTime after_receiving);
 
   void count_sent(std::uint64_t n = 1) { sent_ += n; }
-  void count_refused_connection() { ++refused_connections_; }
+  void count_refused_connection(std::uint64_t n = 1) {
+    refused_connections_ += n;
+  }
+
+  /// Bulk accounting for aggregated deliveries (hierarchical tier): one
+  /// frame covering N samples calls record() once for the oldest sample —
+  /// keeping the RTT distribution honest about worst-case staleness — and
+  /// counts the other N-1 here so loss/deadline rates stay per-sample.
+  void count_received(std::uint64_t n) { bulk_received_ += n; }
+  void count_delivered_late(std::uint64_t n) { delivered_late_ += n; }
 
   /// Deadline for the delivered-late count (0 disables, the default). Grid
   /// monitoring's soft real-time bound is 5 s end-to-end.
   void set_deadline(SimTime deadline) { deadline_ = deadline; }
 
   [[nodiscard]] std::uint64_t sent() const { return sent_; }
-  [[nodiscard]] std::uint64_t received() const { return rtt_ms_.count(); }
+  [[nodiscard]] std::uint64_t received() const {
+    return rtt_ms_.count() + bulk_received_;
+  }
   [[nodiscard]] std::uint64_t delivered_late() const { return delivered_late_; }
   [[nodiscard]] std::uint64_t refused_connections() const {
     return refused_connections_;
@@ -55,6 +66,7 @@ class Metrics {
 
  private:
   std::uint64_t sent_ = 0;
+  std::uint64_t bulk_received_ = 0;
   std::uint64_t refused_connections_ = 0;
   SimTime deadline_ = 0;
   std::uint64_t delivered_late_ = 0;

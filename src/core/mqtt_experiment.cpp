@@ -180,6 +180,7 @@ Results run_mqtt_experiment(const MqttConfig& config) {
 
   Results results;
   results.metrics.set_deadline(units::seconds(5));
+  results.generators = config.fleet.generators;
   std::unordered_map<std::string, SentRecord> in_flight;
   std::uint64_t refused_in_faults = 0;
   const FaultInjector* injector_ptr = nullptr;

@@ -164,6 +164,7 @@ Results run_narada_experiment(const NaradaConfig& config) {
 
   Results results;
   results.metrics.set_deadline(units::seconds(5));
+  results.generators = config.fleet.generators;
   std::unordered_map<std::string, SentRecord> in_flight;
   std::uint64_t refused_in_faults = 0;
   const FaultInjector* injector_ptr = nullptr;

@@ -14,6 +14,8 @@ void register_ablation_scenarios(ScenarioRegistry& registry);
 void register_chaos_scenarios(ScenarioRegistry& registry);
 // Defined in mqtt_scenarios.cpp: the mqtt/* modern-baseline family.
 void register_mqtt_scenarios(ScenarioRegistry& registry);
+// Defined in hier_scenarios.cpp: the hier/* scale-sweep family.
+void register_hier_scenarios(ScenarioRegistry& registry);
 
 const char* ScenarioSpec::system() const {
   return std::visit(
@@ -21,6 +23,10 @@ const char* ScenarioSpec::system() const {
         using T = std::decay_t<decltype(config)>;
         if constexpr (std::is_same_v<T, CustomScenario>) {
           return config.backend.c_str();
+        } else if constexpr (std::is_same_v<T, HierConfig>) {
+          // A hier scenario's "system" is the backend its regional tier
+          // publishes into — the column exists to compare middlewares.
+          return to_string(config.backend);
         } else {
           return T::kBackend;
         }
@@ -51,6 +57,12 @@ Results run_scenario(const ScenarioSpec& spec, SimTime duration,
           run.seed = seed;
           if (obs.enabled) run.obs = obs;
           return run_mqtt_experiment(run);
+        } else if constexpr (std::is_same_v<T, HierConfig>) {
+          HierConfig run = config;
+          run.duration = duration;
+          run.seed = seed;
+          if (obs.enabled) run.obs = obs;
+          return run_hier_experiment(run);
         } else {
           return config.run(RunContext{duration, seed});
         }
@@ -238,6 +250,7 @@ ScenarioRegistry build_catalogue() {
   }
 
   register_mqtt_scenarios(reg);
+  register_hier_scenarios(reg);
   register_ablation_scenarios(reg);
   register_chaos_scenarios(reg);
   return reg;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/hier_experiment.hpp"
 
 namespace gridmon::core {
 
@@ -39,8 +40,8 @@ struct CustomScenario {
   std::string backend = "custom";
 };
 
-using ScenarioConfig =
-    std::variant<NaradaConfig, RgmaConfig, MqttConfig, CustomScenario>;
+using ScenarioConfig = std::variant<NaradaConfig, RgmaConfig, MqttConfig,
+                                    HierConfig, CustomScenario>;
 
 /// One named experiment: the unit the registry stores and the campaign
 /// runner schedules.

@@ -273,6 +273,7 @@ constexpr DiffMetric kDiffMetrics[] = {
     {"peak_model_bytes", DiffMetric::Direction::kLowerBetter, false},
     {"loss_after_recovery_pct", DiffMetric::Direction::kLowerBetter, false},
     {"backfill_bytes", DiffMetric::Direction::kNeutral, false},
+    {"bytes_per_generator", DiffMetric::Direction::kLowerBetter, false},
     {"sim_events", DiffMetric::Direction::kNeutral, false},
     {"wall_seconds", DiffMetric::Direction::kLowerBetter, true},
     {"events_per_sec", DiffMetric::Direction::kHigherBetter, true},

@@ -308,6 +308,7 @@ Results run_rgma_experiment(const RgmaConfig& config) {
 
   Results results;
   results.metrics.set_deadline(units::seconds(5));
+  results.generators = config.fleet.generators;
   std::unordered_map<std::int64_t, SentRecord> in_flight;
   std::uint64_t refused_in_faults = 0;
   const FaultInjector* injector_ptr = nullptr;

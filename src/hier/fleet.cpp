@@ -1,0 +1,21 @@
+#include "hier/fleet.hpp"
+
+namespace gridmon::hier {
+
+FleetState::FleetState(const TopologySpec& spec, std::uint64_t seed)
+    : sample_period_(spec.sample_period),
+      loss_salt_(seed ^ 0xA24BAED4963EE407ULL) {
+  // expand() validates loss < 1, so the scale never overflows.
+  const double p = spec.edge.link.loss;
+  loss_threshold_ = p <= 0.0 ? 0 : static_cast<std::uint64_t>(p * 0x1.0p64);
+  const auto count = static_cast<std::size_t>(spec.generators);
+  phase_.resize(count);
+  value_seed_.resize(count);
+  for (std::size_t g = 0; g < count; ++g) {
+    std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * (g + 1));
+    phase_[g] = static_cast<std::uint32_t>(util::splitmix64(s) >> 32);
+    value_seed_[g] = static_cast<std::uint32_t>(util::splitmix64(s));
+  }
+}
+
+}  // namespace gridmon::hier

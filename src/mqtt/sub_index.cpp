@@ -18,20 +18,18 @@ void SubscriptionIndex::account(std::int64_t delta) {
 }
 
 std::uint32_t SubscriptionIndex::intern(std::string_view level) {
-  const auto it = intern_.find(level);
-  if (it != intern_.end()) return it->second;
-  const auto id = static_cast<std::uint32_t>(intern_.size());
-  intern_.emplace(std::string(level), id);
-  account(static_cast<std::int64_t>(sizeof(std::string) + level.size()));
+  const std::int64_t before = intern_.bytes();
+  const util::StringTable::Id id = intern_.intern(level);
+  account(intern_.bytes() - before);  // zero when already interned
   return id;
 }
 
 const SubscriptionIndex::Node* SubscriptionIndex::literal_child(
     const Node& node, std::string_view level) const {
-  const auto it = intern_.find(level);
-  if (it == intern_.end()) return nullptr;
+  const util::StringTable::Id want = intern_.find(level);
+  if (want == util::StringTable::kInvalidId) return nullptr;
   for (const auto& [id, child] : node.children) {
-    if (id == it->second) return child.get();
+    if (id == want) return child.get();
   }
   return nullptr;
 }
@@ -70,10 +68,10 @@ std::vector<SubscriptionIndex::Entry>* SubscriptionIndex::terminal(
     }
     if (!create) {
       Node* next = nullptr;
-      const auto it = intern_.find(level);
-      if (it != intern_.end()) {
+      const util::StringTable::Id want = intern_.find(level);
+      if (want != util::StringTable::kInvalidId) {
         for (auto& [id, child] : node->children) {
-          if (id == it->second) {
+          if (id == want) {
             next = child.get();
             break;
           }
@@ -138,7 +136,7 @@ void SubscriptionIndex::remove(std::string_view filter, void* handle) {
 
 void SubscriptionIndex::clear() {
   root_ = Node{};
-  intern_.clear();
+  intern_ = util::StringTable{};
   entry_count_ = 0;
   if (footprint_ != 0) {
     obs::mem_sub(obs::MemCategory::kMqttSubIndex, footprint_);

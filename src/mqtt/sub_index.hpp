@@ -23,8 +23,9 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "util/intern.hpp"
 
 namespace gridmon::mqtt {
 
@@ -92,19 +93,10 @@ class SubscriptionIndex {
 
   void account(std::int64_t delta);
 
-  /// Transparent hashing so match() can look levels up by string_view.
-  struct LevelHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-
   Node root_;
-  /// Level string → id. Ids index nothing outside children keys; the map
-  /// owns the interned storage.
-  std::unordered_map<std::string, std::uint32_t, LevelHash, std::equal_to<>>
-      intern_;
+  /// Level string → id. Ids index nothing outside children keys; the
+  /// table's contiguous arena owns the interned storage.
+  util::StringTable intern_;
   std::size_t entry_count_ = 0;
   std::int64_t footprint_ = 0;
 };

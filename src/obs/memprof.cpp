@@ -20,6 +20,8 @@ std::string_view to_string(MemCategory category) {
       return "predicate_cache";
     case MemCategory::kHistory:
       return "history";
+    case MemCategory::kHier:
+      return "hier";
   }
   return "unknown";
 }
@@ -42,6 +44,8 @@ std::string_view gauge_name(MemCategory category) {
       return "mem_predicate_cache";
     case MemCategory::kHistory:
       return "mem_history";
+    case MemCategory::kHier:
+      return "mem_hier";
   }
   return "mem_unknown";
 }

@@ -41,8 +41,9 @@ enum class MemCategory : std::uint8_t {
   kMqttSubIndex,       ///< MQTT broker subscription trie (nodes + entries)
   kPredicateCache,     ///< compiled SQL predicates (producer + consumer side)
   kHistory,            ///< tiered retention buffers (backfill replication)
+  kHier,               ///< hierarchical tier (fleet arrays + pending frames)
 };
-inline constexpr std::size_t kMemCategoryCount = 8;
+inline constexpr std::size_t kMemCategoryCount = 9;
 
 /// Short label ("broker_routing", ...) for tables and docs.
 [[nodiscard]] std::string_view to_string(MemCategory category);

@@ -74,6 +74,13 @@ const std::vector<std::string> kSection4Ids = {
     "chaos/narada/dbn_broker_crash_replay", "chaos/narada/dbn_partition_replay",
     "chaos/narada/nic_flap_replay/400", "chaos/mqtt/flapping_link_replay/800",
     "chaos/rgma/servlet_restart_replay", "chaos/rgma/registry_halfopen/400",
+    // Hierarchical aggregation scale sweeps + architecture ablation
+    // (DESIGN.md §5)
+    "hier/narada/10k", "hier/narada/50k", "hier/narada/200k",
+    "hier/narada/1m", "hier/rgma/10k", "hier/rgma/50k", "hier/rgma/200k",
+    "hier/rgma/1m", "hier/mqtt/10k", "hier/mqtt/50k", "hier/mqtt/200k",
+    "hier/mqtt/1m", "hier/ablation/flat_10k", "hier/ablation/tree_10k",
+    "hier/ablation/edge_10k",
 };
 
 TEST(RegistryTest, ResolvesEveryDesignSection4Id) {
@@ -273,12 +280,13 @@ TEST(CampaignTest, CsvShapeIsStable) {
             "downtime_ms,ttr_ms,lost_in_window,lost_post_window,late,"
             "reconnects,resubscribes,reregistrations,slo_pass,"
             "slo_worst_burn,peak_model_bytes,system,loss_after_recovery_pct,"
-            "backfill_bytes");
+            "backfill_bytes,generators");
   EXPECT_NE(csv.find("test/narada/60,1,"), std::string::npos);
-  // The backend name plus the replication columns close every row; a
-  // fault-free run reports 0.0000 residual loss and no backfill.
-  EXPECT_EQ(csv.substr(csv.size() - std::string(",narada,0.0000,0\n").size()),
-            ",narada,0.0000,0\n");
+  // The backend name, replication columns and fleet size close every row;
+  // a fault-free run reports 0.0000 residual loss and no backfill.
+  EXPECT_EQ(
+      csv.substr(csv.size() - std::string(",narada,0.0000,0,60\n").size()),
+      ",narada,0.0000,0,60\n");
 }
 
 }  // namespace

@@ -39,11 +39,10 @@ std::string campaign_csv(const char* prefix, int jobs) {
 // Golden hashes recorded from the jobs=1 run at the settings above. If a
 // code change moves these, every chaos metric moved with it — rerecord only
 // when the shift is understood and intended. (Last rerecord: the CSV grew
-// the loss_after_recovery_pct/backfill_bytes columns and the prefixes now
-// also match the `_replay` backfill twins; the recovery/no-recovery rows'
-// pre-existing metric values did not change.)
-constexpr std::uint64_t kGoldenBrokerCrash = 13701059832762622083ULL;
-constexpr std::uint64_t kGoldenServletRestart = 5438591667422421047ULL;
+// the `generators` fleet-size column for the hierarchical-tier PR; the
+// pre-existing columns' values did not change.)
+constexpr std::uint64_t kGoldenBrokerCrash = 11632190684287921003ULL;
+constexpr std::uint64_t kGoldenServletRestart = 13983740680267815231ULL;
 
 TEST(ChaosDeterminism, BrokerCrashByteIdenticalAcrossJobs) {
   const std::string serial = campaign_csv("chaos/narada/broker_crash", 1);

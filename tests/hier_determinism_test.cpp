@@ -1,0 +1,87 @@
+// The hierarchical tier must not cost determinism: a hier run synthesises
+// per-sample state from flyweight seeds on both the edge and the root side,
+// so the full campaign CSV/JSON export — generators column, per-frame RTT
+// percentiles, mem_hier peaks — is byte-identical whether the campaign runs
+// on one worker thread or four. Pinned with an FNV-1a golden hash over the
+// 10k sweep plus the flat/tree/edge ablation at 1 virtual minute,
+// seeds {1, 2}.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/registry.hpp"
+
+namespace gridmon::core {
+namespace {
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// The 10k sweep over all three backends plus the architecture ablation.
+/// The larger scales (50k/200k/1m) stay out of tier-1 — bench_hier_scale
+/// covers them.
+constexpr const char* kHierScenarios[] = {
+    "hier/narada/10k",
+    "hier/rgma/10k",
+    "hier/mqtt/10k",
+    "hier/ablation/flat_10k",
+    "hier/ablation/tree_10k",
+    "hier/ablation/edge_10k",
+};
+
+Campaign hier_campaign(int jobs) {
+  CampaignOptions options;
+  options.jobs = jobs;
+  options.seeds = 2;
+  options.duration = units::minutes(1);
+  CampaignRunner runner(options);
+  for (const char* id : kHierScenarios) {
+    EXPECT_TRUE(runner.add(builtin_registry(), id)) << id;
+  }
+  return runner.run();
+}
+
+// Golden hash recorded from the jobs=1 run at the settings above. If a
+// code change moves it, every hier metric moved with it — rerecord only
+// when the shift is understood and intended.
+constexpr std::uint64_t kGoldenHierFamily = 6619211706681117826ULL;
+
+TEST(HierDeterminism, TenKFamilyByteIdenticalAcrossJobs) {
+  const Campaign serial = hier_campaign(1);
+  const Campaign parallel = hier_campaign(4);
+  EXPECT_EQ(serial.csv(), parallel.csv());
+  EXPECT_EQ(serial.json(), parallel.json());
+  EXPECT_EQ(fnv1a(serial.csv()), kGoldenHierFamily)
+      << "actual hash: " << fnv1a(serial.csv());
+
+  // The fleet-size column rides at the end of the schema.
+  EXPECT_NE(serial.csv().find(",backfill_bytes,generators"),
+            std::string::npos);
+
+  // The ablation's point, pinned end-to-end: the flat fleet hits the heap
+  // wall and refuses most generators; the hierarchical arms hold the whole
+  // fleet with a fraction of the model footprint.
+  const Results flat = serial.pooled("hier/ablation/flat_10k");
+  const Results edge = serial.pooled("hier/ablation/edge_10k");
+  EXPECT_TRUE(flat.hit_oom_wall());
+  // Pooled refusals sum across the two seeds: > 5000 per seed.
+  EXPECT_GT(flat.refused, 10000u);
+  EXPECT_EQ(edge.refused, 0u);
+  ASSERT_GT(edge.generators, 0);
+  ASSERT_EQ(edge.generators, flat.generators);
+  // Bytes per generator, an order of magnitude apart — and the flat arm
+  // only ever held ~40% of the fleet.
+  EXPECT_LT(10 * edge.mem.peak_total / edge.generators,
+            flat.mem.peak_total / flat.generators);
+}
+
+}  // namespace
+}  // namespace gridmon::core

@@ -36,10 +36,12 @@ std::string campaign_csv(const char* prefix, int jobs) {
 // Golden hashes recorded from the jobs=1 run at the settings above. If a
 // code change moves these, every MQTT metric moved with it — rerecord only
 // when the shift is understood and intended. (Last rerecord: the CSV grew
-// the loss_after_recovery_pct/backfill_bytes columns; no metric value
+// the `generators` fleet-size column, and the subscription index now
+// interns topic levels in a util::StringTable arena, which shifts the
+// mem_sub_index footprint inside peak_model_bytes; no delivery metric
 // changed.)
-constexpr std::uint64_t kGoldenQosAblation = 8581670500782030570ULL;
-constexpr std::uint64_t kGoldenBrokerCrash = 8007753230210842855ULL;
+constexpr std::uint64_t kGoldenQosAblation = 134516294299804546ULL;
+constexpr std::uint64_t kGoldenBrokerCrash = 3640792209305520063ULL;
 
 TEST(MqttDeterminism, QosAblationByteIdenticalAcrossJobs) {
   const std::string serial = campaign_csv("mqtt/qos", 1);

@@ -1,0 +1,91 @@
+// StringTable: dedup, dense insertion-order ids, and byte accounting — the
+// properties the hierarchical tier and the MQTT subscription index rely on.
+#include "util/intern.hpp"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gridmon::util {
+namespace {
+
+TEST(StringTableTest, InternDedupsAndAssignsDenseIds) {
+  StringTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.intern("powergrid/region0"), 0u);
+  EXPECT_EQ(table.intern("powergrid/region1"), 1u);
+  // A repeat intern returns the existing id and stores nothing new.
+  EXPECT_EQ(table.intern("powergrid/region0"), 0u);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.view(0), "powergrid/region0");
+  EXPECT_EQ(table.view(1), "powergrid/region1");
+}
+
+TEST(StringTableTest, FindNeverInserts) {
+  StringTable table;
+  EXPECT_EQ(table.find("absent"), StringTable::kInvalidId);
+  EXPECT_TRUE(table.empty());
+  const StringTable::Id id = table.intern("present");
+  EXPECT_EQ(table.find("present"), id);
+  EXPECT_EQ(table.find("absent"), StringTable::kInvalidId);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(StringTableTest, EmptyStringAndRehashSurviveLookup) {
+  StringTable table;
+  const StringTable::Id empty_id = table.intern("");
+  // Grow well past the initial slot count so the open-addressed index
+  // rehashes at least once; every earlier id must keep resolving.
+  std::vector<StringTable::Id> ids;
+  for (int i = 0; i < 300; ++i) {
+    ids.push_back(table.intern("level" + std::to_string(i)));
+  }
+  EXPECT_EQ(table.find(""), empty_id);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(table.find("level" + std::to_string(i)), ids[i]);
+    EXPECT_EQ(table.view(ids[i]), "level" + std::to_string(i));
+  }
+}
+
+TEST(StringTableTest, BytesGrowOnInsertOnlyAndStayExact) {
+  // bytes() is mirrored into a memprof category by every owner (the hier
+  // harness's name table, the MQTT subscription index), so it must move
+  // only when storage actually changes: a duplicate intern is free.
+  StringTable table;
+  const std::int64_t empty_bytes = table.bytes();
+  table.intern("powergrid/monitoring");
+  const std::int64_t one = table.bytes();
+  EXPECT_GT(one, empty_bytes);
+  table.intern("powergrid/monitoring");
+  EXPECT_EQ(table.bytes(), one);
+  table.intern("powergrid/region7/agg");
+  EXPECT_GT(table.bytes(), one);
+}
+
+TEST(StringTableTest, IdsAreAFunctionOfInsertionOrderAcrossThreads) {
+  // The determinism contract: a run interning the same strings in the same
+  // order gets the same ids, no matter which worker thread owns the table
+  // (one table per run, no global state to race on).
+  auto build = [] {
+    StringTable table;
+    std::vector<StringTable::Id> ids;
+    for (int r = 0; r < 50; ++r) {
+      ids.push_back(table.intern("powergrid/region" + std::to_string(r)));
+      ids.push_back(table.intern("powergrid/monitoring"));  // duplicate
+    }
+    return ids;
+  };
+  const std::vector<StringTable::Id> reference = build();
+  std::vector<std::vector<StringTable::Id>> results(4);
+  std::vector<std::thread> pool;
+  for (auto& slot : results) {
+    pool.emplace_back([&slot, &build] { slot = build(); });
+  }
+  for (auto& thread : pool) thread.join();
+  for (const auto& ids : results) EXPECT_EQ(ids, reference);
+}
+
+}  // namespace
+}  // namespace gridmon::util
