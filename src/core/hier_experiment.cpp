@@ -9,6 +9,7 @@
 // with the tree, not with the generator count.
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -467,6 +468,12 @@ Results run_hier_experiment(const HierConfig& config) {
   std::vector<int> regional_hosts;
   for (int h = 0; h < hydra.node_count(); ++h) {
     if (h != kServerHost && h != kRootHost) regional_hosts.push_back(h);
+  }
+  if (regional_hosts.empty()) {
+    throw std::invalid_argument(
+        "run_hier_experiment: testbed needs more than 2 hosts (hosts 0 and "
+        "1 are reserved for the server and the root) to place regional "
+        "publishers");
   }
   std::vector<std::unique_ptr<net::HttpClient>> rgma_http;
   std::vector<std::unique_ptr<Regional>> regionals;

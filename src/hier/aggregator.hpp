@@ -69,7 +69,12 @@ struct TreeConfig {
       // the i range landing in [begin, end).
       std::int64_t lo = (begin - phase + period - 1) / period;
       if (lo < 0) lo = 0;
-      const std::int64_t hi = (end - phase - 1) / period;
+      // Floor division: with sub-period windows `end - phase - 1` goes
+      // negative for every window preceding the generator's first sample,
+      // and truncation toward zero would pull sample 0 into all of them.
+      // phase < period, so -1 is the only negative floor possible.
+      const std::int64_t num = end - phase - 1;
+      const std::int64_t hi = num >= 0 ? num / period : -1;
       for (std::int64_t i = lo; i <= hi; ++i) {
         fn(g, i, epoch + i * period + phase, fleet->sample_lost(g, i));
       }

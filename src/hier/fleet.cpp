@@ -1,13 +1,20 @@
 #include "hier/fleet.hpp"
 
+#include <limits>
+
 namespace gridmon::hier {
 
 FleetState::FleetState(const TopologySpec& spec, std::uint64_t seed)
     : sample_period_(spec.sample_period),
       loss_salt_(seed ^ 0xA24BAED4963EE407ULL) {
-  // expand() validates loss < 1, so the scale never overflows.
+  // expand() validates loss < 1, but this constructor can see an
+  // unvalidated spec, and casting a double >= 2^64 is UB — clamp.
   const double p = spec.edge.link.loss;
-  loss_threshold_ = p <= 0.0 ? 0 : static_cast<std::uint64_t>(p * 0x1.0p64);
+  const double scaled = p * 0x1.0p64;
+  loss_threshold_ = p <= 0.0 ? 0
+                    : scaled >= 0x1.0p64
+                        ? std::numeric_limits<std::uint64_t>::max()
+                        : static_cast<std::uint64_t>(scaled);
   const auto count = static_cast<std::size_t>(spec.generators);
   phase_.resize(count);
   value_seed_.resize(count);

@@ -86,6 +86,10 @@ TopologySpec::Expansion TopologySpec::expand() const {
   check(regional.window > 0, "regional window must be positive");
   check(edge.link.loss >= 0.0 && edge.link.loss < 1.0,
         "edge link loss must be in [0, 1)");
+  // FleetState draws loss only on the generator→edge hop; reject rather
+  // than silently ignore a regional-tier loss setting.
+  check(regional.link.loss == 0.0,
+        "regional link loss is not modelled and must be 0");
 
   Expansion out;
   out.generators = generators;

@@ -37,7 +37,9 @@ enum class Reduce {
 struct LinkProfile {
   SimTime latency = units::milliseconds(2);
   SimTime jitter = units::milliseconds(1);
-  double loss = 0.0;  ///< per-sample Bernoulli on the generator→edge hop
+  /// Per-sample Bernoulli on the generator→edge hop. Only the edge tier
+  /// models loss; expand() rejects a non-zero regional value.
+  double loss = 0.0;
 };
 
 /// One aggregation tier: how many children fan in per node, the child→node

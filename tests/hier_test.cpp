@@ -4,6 +4,9 @@
 // regional subtree counts every descendant generator as refused.
 #include "hier/aggregator.hpp"
 
+#include <map>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "core/hier_experiment.hpp"
@@ -99,6 +102,11 @@ TEST(TopologySpecTest, ExpandValidates) {
   bad = small_spec();
   bad.regional.window = -1;
   EXPECT_THROW((void)bad.expand(), std::invalid_argument);
+  // Loss is only modelled on the generator→edge hop; a regional-tier
+  // setting must be rejected, not silently ignored.
+  bad = small_spec();
+  bad.regional.link.loss = 0.05;
+  EXPECT_THROW((void)bad.expand(), std::invalid_argument);
 }
 
 TEST(FleetStateTest, PureFunctionOfSeed) {
@@ -133,6 +141,52 @@ TEST(FleetStateTest, SampleLossMatchesConfiguredRate) {
   // Lossless fleets never drop.
   const FleetState clean(small_spec(), 1);
   EXPECT_FALSE(clean.sample_lost(0, 0));
+  // An unvalidated loss of 1.0 (expand() rejects it, but the constructor
+  // can see a raw spec) clamps the 2^64 scale instead of a UB cast, and
+  // drops everything.
+  TopologySpec saturated = small_spec();
+  saturated.edge.link.loss = 1.0;
+  const FleetState all_lost(saturated, 1);
+  for (std::int64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(all_lost.sample_lost(0, k));
+  }
+}
+
+TEST(AggregatorTest, SubPeriodWindowsEnumerateEachSampleExactlyOnce) {
+  // Regression: with edge.window < sample_period (every shipped hier/*
+  // preset: 2 s windows, 10 s period) the last-sample index used to
+  // truncate toward zero instead of flooring, so sample 0 leaked into
+  // every window before its real one — inflating sent/collected counts
+  // and recording negative RTTs for early frames.
+  TopologySpec spec = small_spec();
+  spec.edge.window = units::seconds(2);  // 5 windows per sample period
+  FleetState fleet(spec, 9);
+  TreeConfig tree;
+  tree.spec = spec;
+  tree.shape = spec.expand();
+  tree.fleet = &fleet;
+  tree.epoch = units::seconds(1);
+  tree.windows = 10;  // two full sample periods
+
+  std::map<std::pair<std::int64_t, std::int64_t>, int> seen;
+  for (std::int64_t w = 0; w < tree.windows; ++w) {
+    const SimTime begin = tree.epoch + w * spec.edge.window;
+    const SimTime end = begin + spec.edge.window;
+    tree.for_each_sample(
+        0, w, [&](std::int64_t g, std::int64_t k, SimTime send, bool) {
+          // Every enumerated send time really falls inside the window.
+          EXPECT_GE(send, begin);
+          EXPECT_LT(send, end);
+          ++seen[{g, k}];
+        });
+  }
+  // Two periods: samples 0 and 1 of each of the edge's generators, each
+  // in exactly one window.
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(2 * spec.edge.fan_in));
+  for (const auto& [key, count] : seen) {
+    EXPECT_EQ(count, 1) << "generator " << key.first << " sample "
+                        << key.second;
+  }
 }
 
 TEST(AggregatorTest, EdgeWindowCollectsExactlyThePhasedSamples) {
